@@ -1,0 +1,132 @@
+//! Random-mate contraction: the classical leader-election baseline with
+//! constant-factor growth per round.
+//!
+//! This is the algorithm the paper's Section 3 describes as the "typical
+//! leader-election algorithm": sample each vertex as a leader with
+//! probability 1/2, let every non-leader that has a leader neighbour join
+//! one, contract, repeat. Each round shrinks the number of remaining
+//! super-vertices by an expected constant factor only, so `Θ(log n)` rounds
+//! are needed — precisely the barrier the paper's quadratic-growth algorithm
+//! (Section 6) breaks on random graphs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wcc_graph::{ComponentLabels, Graph, UnionFind};
+use wcc_mpc::MpcContext;
+
+/// Random-mate contraction. Returns the exact connected components; charges
+/// two MPC rounds per contraction phase (one to pick leaders and exchange
+/// adjacency, one to contract).
+pub fn random_mate_contraction(g: &Graph, ctx: &mut MpcContext, seed: u64) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    ctx.begin_phase("random-mate");
+    let mut uf = UnionFind::new(n);
+    // Current contracted edge list between component representatives.
+    let mut edges: Vec<(usize, usize)> = g
+        .edge_iter()
+        .filter(|&(u, v)| u != v)
+        .collect();
+    // Safety bound: random mate halves the vertex count in expectation, so
+    // 4 log n + 16 rounds suffice with overwhelming probability; the loop also
+    // exits as soon as no contractible edge remains.
+    let max_phases = 4 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16;
+    for _ in 0..max_phases {
+        if edges.is_empty() {
+            break;
+        }
+        ctx.charge_shuffle(2 * edges.len());
+        let _ = ctx.record_balanced_load(2 * edges.len());
+        // Coin flip per current representative.
+        let mut is_leader = vec![false; n];
+        for v in 0..n {
+            if uf.find(v) == v {
+                is_leader[v] = rng.gen_bool(0.5);
+            }
+        }
+        // Every non-leader representative joins an arbitrary leader neighbour.
+        let mut join: Vec<Option<usize>> = vec![None; n];
+        for &(u, v) in &edges {
+            let (ru, rv) = (uf.find(u), uf.find(v));
+            if ru == rv {
+                continue;
+            }
+            if !is_leader[ru] && is_leader[rv] && join[ru].is_none() {
+                join[ru] = Some(rv);
+            }
+            if !is_leader[rv] && is_leader[ru] && join[rv].is_none() {
+                join[rv] = Some(ru);
+            }
+        }
+        ctx.charge_shuffle(2 * edges.len());
+        for (v, target) in join.iter().enumerate() {
+            if let Some(t) = target {
+                uf.union(v, *t);
+            }
+        }
+        // Re-contract the edge list and drop internal edges.
+        edges = edges
+            .iter()
+            .map(|&(u, v)| (uf.find(u), uf.find(v)))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+    }
+    ctx.end_phase();
+    uf.into_labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+    use wcc_mpc::MpcConfig;
+
+    fn ctx_for(g: &Graph) -> MpcContext {
+        MpcContext::new(MpcConfig::for_input_size(2 * g.num_edges() + 10, 0.5).permissive())
+    }
+
+    #[test]
+    fn matches_ground_truth_on_various_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let graphs = vec![
+            generators::cycle(100),
+            generators::star(50),
+            generators::erdos_renyi(200, 0.01, &mut rng),
+            generators::planted_expander_components(&[40, 40, 40], 8, &mut rng),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let truth = connected_components(g);
+            let mut ctx = ctx_for(g);
+            let labels = random_mate_contraction(g, &mut ctx, 100 + i as u64);
+            assert!(labels.same_partition(&truth), "graph {i} mismatched");
+        }
+    }
+
+    #[test]
+    fn round_count_grows_logarithmically_on_cycles() {
+        // Rounds should grow slowly (logarithmically) with n, but must be > 1.
+        let mut rounds = Vec::new();
+        for &n in &[64usize, 4096] {
+            let g = generators::cycle(n);
+            let mut ctx = ctx_for(&g);
+            random_mate_contraction(&g, &mut ctx, 5);
+            rounds.push(ctx.stats().total_rounds());
+        }
+        assert!(rounds[0] >= 4);
+        assert!(rounds[1] > rounds[0]);
+        // 64x more vertices should cost far less than 64x more rounds.
+        assert!(rounds[1] < rounds[0] * 8);
+    }
+
+    #[test]
+    fn single_vertex_and_empty_edge_cases() {
+        let g = Graph::empty(3);
+        let mut ctx = ctx_for(&g);
+        let labels = random_mate_contraction(&g, &mut ctx, 0);
+        assert_eq!(labels.num_components(), 3);
+    }
+}

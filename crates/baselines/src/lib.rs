@@ -1,0 +1,124 @@
+//! Classical MPC / PRAM connectivity baselines.
+//!
+//! The paper's headline claim is an *exponential* round improvement over the
+//! `O(log n)`-round algorithms that were previously the state of the art for
+//! sparse connectivity with strictly sublinear memory per machine
+//! ([36, 37, 48] in the paper's bibliography, and the three-decade-old PRAM
+//! algorithms). To reproduce the comparison (experiment E10) we implement
+//! those baselines on the same simulator and round-accounting layer:
+//!
+//! * [`min_label_propagation`] — the folklore "propagate the minimum label"
+//!   algorithm; one MPC round per iteration, `Θ(diameter)` iterations.
+//! * [`hash_to_min`] — Rastogi et al. (ICDE 2013) Hash-to-Min, `O(log n)`
+//!   rounds on typical inputs.
+//! * [`random_mate_contraction`] — leader election with *constant-factor*
+//!   component growth per round (the classical contrast to the paper's
+//!   quadratic growth), `Θ(log n)` rounds.
+//! * [`shiloach_vishkin`] — the classic PRAM hook-and-jump algorithm,
+//!   `Θ(log n)` pointer-jumping rounds.
+//! * [`sequential_components`] — single-machine union–find reference (what
+//!   you would run if the graph fit on one machine).
+//!
+//! All algorithms return the exact connected components (they are
+//! deterministic or Las-Vegas); what differs — and what the experiments
+//! measure — is the number of MPC rounds charged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contraction;
+pub mod label_propagation;
+pub mod pram;
+
+pub use crate::contraction::random_mate_contraction;
+pub use crate::label_propagation::{hash_to_min, min_label_propagation};
+pub use crate::pram::shiloach_vishkin;
+
+use wcc_graph::{components, ComponentLabels, Graph};
+use wcc_mpc::MpcContext;
+
+/// Single-machine union–find baseline. Charges zero MPC rounds (it is the
+/// "fits on one machine" regime the MPC model explicitly excludes) — it
+/// exists so experiments can report the sequential wall-clock reference.
+pub fn sequential_components(g: &Graph) -> ComponentLabels {
+    components::connected_components_union_find(g)
+}
+
+/// Outcome of a baseline run: the labels it computed and the rounds it spent.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Component labels computed by the baseline.
+    pub labels: ComponentLabels,
+    /// MPC rounds charged while computing them.
+    pub rounds: u64,
+}
+
+/// Runs a baseline by name; convenience for the experiment harness.
+///
+/// Supported names: `"min-label"`, `"hash-to-min"`, `"random-mate"`,
+/// `"shiloach-vishkin"`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn run_baseline(name: &str, g: &Graph, ctx: &mut MpcContext, seed: u64) -> BaselineResult {
+    let before = ctx.stats().total_rounds();
+    let labels = match name {
+        "min-label" => min_label_propagation(g, ctx),
+        "hash-to-min" => hash_to_min(g, ctx),
+        "random-mate" => random_mate_contraction(g, ctx, seed),
+        "shiloach-vishkin" => shiloach_vishkin(g, ctx),
+        other => panic!("unknown baseline {other:?}"),
+    };
+    BaselineResult {
+        labels,
+        rounds: ctx.stats().total_rounds() - before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+    use wcc_mpc::MpcConfig;
+
+    #[test]
+    fn all_baselines_agree_with_ground_truth_on_mixed_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let graphs = vec![
+            generators::cycle(64),
+            generators::planted_expander_components(&[30, 50, 20], 8, &mut rng),
+            generators::erdos_renyi(150, 0.015, &mut rng),
+            generators::star(40),
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let truth = connected_components(g);
+            for name in ["min-label", "hash-to-min", "random-mate", "shiloach-vishkin"] {
+                let mut ctx =
+                    MpcContext::new(MpcConfig::for_input_size(2 * g.num_edges() + 10, 0.5).permissive());
+                let result = run_baseline(name, g, &mut ctx, 17);
+                assert!(
+                    result.labels.same_partition(&truth),
+                    "baseline {name} wrong on graph {i}"
+                );
+                assert!(result.rounds >= 1, "baseline {name} charged no rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_baseline_matches_bfs() {
+        let g = generators::ring_of_cliques(5, 6);
+        assert!(sequential_components(&g).same_partition(&connected_components(&g)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown baseline")]
+    fn unknown_baseline_panics() {
+        let g = generators::cycle(5);
+        let mut ctx = MpcContext::new(MpcConfig::default());
+        let _ = run_baseline("nope", &g, &mut ctx, 0);
+    }
+}

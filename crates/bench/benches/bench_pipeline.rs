@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the end-to-end algorithms: the paper's pipeline
+//! (Theorem 4), the adaptive variant (Corollary 7.1), the sublinear-space
+//! algorithm (Theorem 2) and the classical baselines, all on the same
+//! planted-expander workload.
+//!
+//! Wall-clock time is *not* the quantity the paper bounds (rounds are — see
+//! the `exp_*` binaries); these benchmarks exist to track the simulator's
+//! practical cost and to compare implementations release over release.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_baselines::{hash_to_min, random_mate_contraction, sequential_components};
+use wcc_core::prelude::*;
+use wcc_core::sublinear::{sublinear_components, SublinearParams};
+use wcc_graph::prelude::*;
+use wcc_mpc::{MpcConfig, MpcContext};
+
+fn planted(n: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng)
+}
+
+fn bench_pipeline_vs_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity_end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[256usize, 1024] {
+        let g = planted(n, 1);
+        let params = Params::laptop_scale();
+        group.bench_with_input(BenchmarkId::new("wcc_pipeline", n), &g, |b, g| {
+            b.iter(|| well_connected_components(g, 0.3, &params, 7).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive_unknown_gap", n), &g, |b, g| {
+            b.iter(|| adaptive_components(g, &params, 7).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sublinear_theorem2", n), &g, |b, g| {
+            b.iter(|| sublinear_components(g, 256, &SublinearParams::laptop_scale(), 7).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_hash_to_min", n), &g, |b, g| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(
+                    MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive(),
+                );
+                hash_to_min(g, &mut ctx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_random_mate", n), &g, |b, g| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(
+                    MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive(),
+                );
+                random_mate_contraction(g, &mut ctx, 3)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_union_find", n), &g, |b, g| {
+            b.iter(|| sequential_components(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_growth_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grow_components_stage");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let params = Params::laptop_scale();
+    for &n in &[5_000usize, 20_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let degree = params.batch_degree(n);
+        let batches: Vec<Graph> = (0..params.num_phases(n))
+            .map(|_| generators::random_out_degree_graph(n, degree, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("grow_components", n), &batches, |b, batches| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                let mut ctx = MpcContext::new(
+                    MpcConfig::for_input_size(4 * n * degree, 0.5).permissive(),
+                );
+                wcc_core::leader::grow_components(batches, &params, &mut ctx, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_vs_baselines, bench_growth_stage);
+criterion_main!(benches);

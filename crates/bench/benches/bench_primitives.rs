@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the substrates: random walks, spectral-gap
+//! estimation, the AGM connectivity sketch, and the MPC sort primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_core::walks::{direct_walk_targets, layered_walk_bundle};
+use wcc_graph::prelude::*;
+use wcc_mpc::{primitives::distributed_sort, Cluster, MpcConfig, MpcContext};
+use wcc_sketch::ConnectivitySketch;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generators::random_regular_permutation_graph(2000, 8, &mut rng);
+    group.bench_function("direct_walks_t64", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            direct_walk_targets(&g, 64, &mut rng)
+        })
+    });
+    let small = generators::random_regular_permutation_graph(300, 8, &mut rng);
+    group.bench_function("layered_bundle_t16", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            layered_walk_bundle(&small, 16, 2, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_gap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for &n in &[1000usize, 4000] {
+        let g = generators::random_regular_permutation_graph(n, 8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("power_iteration_200", n), &g, |b, g| {
+            b.iter(|| spectral::spectral_gap(g, 200))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agm_sketch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::erdos_renyi(400, 0.02, &mut rng);
+    group.bench_function("build_and_decode_n400", |b| {
+        b.iter(|| {
+            let mut sk = ConnectivitySketch::new(g.num_vertices(), 9);
+            for (u, v) in g.edge_iter() {
+                sk.add_edge(u, v);
+            }
+            sk.components()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mpc_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_primitives");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[50_000usize, 200_000] {
+        let config = MpcConfig::for_input_size(2 * n, 0.5).permissive();
+        let tuples: Vec<(u64, u64)> = (0..n as u64).map(|i| ((i * 2654435761) % n as u64, i)).collect();
+        group.bench_with_input(BenchmarkId::new("distributed_sort", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut ctx = MpcContext::new(config);
+                let cluster = Cluster::from_tuples(&config, tuples.clone());
+                distributed_sort(&cluster, &mut ctx, |t| t.0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks, bench_spectral, bench_sketch, bench_mpc_sort);
+criterion_main!(benches);

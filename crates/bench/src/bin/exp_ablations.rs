@@ -1,0 +1,8 @@
+//! E12: ablations — skip regularization / reuse a single batch (Section 3).
+fn main() {
+    let table = wcc_bench::exp_ablations(15_000);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

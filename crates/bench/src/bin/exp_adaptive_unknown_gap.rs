@@ -1,0 +1,8 @@
+//! E7: adaptive algorithm with unknown spectral gaps (Corollary 7.1).
+fn main() {
+    let table = wcc_bench::exp_adaptive_unknown_gap(2000);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

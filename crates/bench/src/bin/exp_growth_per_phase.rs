@@ -1,0 +1,8 @@
+//! E3: quadratic component growth per leader-election phase (Lemma 6.7).
+fn main() {
+    let table = wcc_bench::exp_growth_per_phase(30_000);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

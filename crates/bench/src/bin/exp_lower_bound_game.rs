@@ -1,0 +1,8 @@
+//! E8: expander-connectivity query-game lower bound (Section 9).
+fn main() {
+    let table = wcc_bench::exp_lower_bound_game(&[512, 1024, 2048, 4096]);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

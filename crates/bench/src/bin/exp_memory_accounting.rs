@@ -1,0 +1,8 @@
+//! E9: per-machine memory and communication accounting (Theorem 4).
+fn main() {
+    let table = wcc_bench::exp_memory_accounting(&[1 << 9, 1 << 11, 1 << 13]);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

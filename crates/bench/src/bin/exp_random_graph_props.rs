@@ -1,0 +1,8 @@
+//! E11: properties of G(n,d) and balls-and-bins concentration (Prop. 2.3-2.5, B.1).
+fn main() {
+    let table = wcc_bench::exp_random_graph_props(3000);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! E4: independence and distribution of layered-graph random walks (Theorem 3).
+fn main() {
+    let table = wcc_bench::exp_random_walk_quality(300, 16);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! E5: replacement-product regularization (Lemma 4.1 / Proposition 4.2).
+fn main() {
+    let table = wcc_bench::exp_regularization(600);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

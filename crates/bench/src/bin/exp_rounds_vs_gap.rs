@@ -1,0 +1,8 @@
+//! E2: rounds vs spectral gap across graph families (Theorem 1/4).
+fn main() {
+    let table = wcc_bench::exp_rounds_vs_gap(1024);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

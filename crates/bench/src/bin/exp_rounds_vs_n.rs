@@ -1,0 +1,8 @@
+//! E1: rounds vs n on planted expander components (Theorem 1/4).
+fn main() {
+    let table = wcc_bench::exp_rounds_vs_n(&[1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13]);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

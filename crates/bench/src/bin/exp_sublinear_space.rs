@@ -1,0 +1,8 @@
+//! E6: SublinearConn rounds vs memory per machine (Theorem 2).
+fn main() {
+    let table = wcc_bench::exp_sublinear_space(1024, &[32, 128, 512, 2048]);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,8 @@
+//! E10: rounds vs classical O(log n)-round baselines (Sections 1.1/1.3).
+fn main() {
+    let table = wcc_bench::exp_vs_baselines(1536);
+    if let Ok(path) = table.write_json() {
+        eprintln!("wrote {path}");
+    }
+    println!("{}", table.to_markdown());
+}

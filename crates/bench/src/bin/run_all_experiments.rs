@@ -1,0 +1,12 @@
+//! Runs every experiment in EXPERIMENTS.md, prints the markdown tables and
+//! writes `results/E*.json`.
+
+fn main() {
+    for table in wcc_bench::run_all() {
+        match table.write_json() {
+            Ok(path) => eprintln!("[{}] wrote {}", table.id, path),
+            Err(e) => eprintln!("[{}] could not write results: {e}", table.id),
+        }
+        println!("{}", table.to_markdown());
+    }
+}

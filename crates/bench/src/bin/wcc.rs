@@ -1,0 +1,173 @@
+//! `wcc` — command-line front end for the connectivity algorithms.
+//!
+//! ```text
+//! USAGE:
+//!   wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]
+//!                        [--lambda <gap>] [--memory <words>] [--seed <u64>] [--sizes]
+//!
+//! The edge-list format is one `u v` pair per line; `#`/`%` lines are comments.
+//! Prints the number of components, the simulated MPC rounds, and (with
+//! --sizes) the component size histogram.
+//! ```
+//!
+//! Example:
+//! ```text
+//! cargo run --release -p wcc-bench --bin wcc -- my_graph.txt --algorithm adaptive --sizes
+//! ```
+
+use std::process::ExitCode;
+
+use wcc_baselines::run_baseline;
+use wcc_core::prelude::*;
+use wcc_core::sublinear::{sublinear_components, SublinearParams};
+use wcc_graph::prelude::*;
+use wcc_mpc::{MpcConfig, MpcContext};
+
+struct Options {
+    path: String,
+    algorithm: String,
+    lambda: f64,
+    memory: usize,
+    seed: u64,
+    show_sizes: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        path: String::new(),
+        algorithm: "wcc".to_string(),
+        lambda: 0.25,
+        memory: 0,
+        seed: 7,
+        show_sizes: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                opts.algorithm = args.next().ok_or("--algorithm needs a value")?;
+            }
+            "--lambda" => {
+                opts.lambda = args
+                    .next()
+                    .ok_or("--lambda needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --lambda: {e}"))?;
+            }
+            "--memory" => {
+                opts.memory = args
+                    .next()
+                    .ok_or("--memory needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --memory: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--sizes" => opts.show_sizes = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other if opts.path.is_empty() && !other.starts_with('-') => {
+                opts.path = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("missing <edge-list-file>".to_string());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]\n\
+         \x20          [--lambda <gap>] [--memory <words>] [--seed <u64>] [--sizes]"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let loaded = match read_edge_list_file(std::path::Path::new(&opts.path)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = loaded.graph;
+    println!(
+        "loaded {}: {} vertices, {} edges",
+        opts.path,
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let (labels, rounds) = match opts.algorithm.as_str() {
+        "wcc" => match well_connected_components(&g, opts.lambda, &Params::laptop_scale(), opts.seed) {
+            Ok(r) => (r.components, Some(r.stats.total_rounds())),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "adaptive" => match adaptive_components(&g, &Params::laptop_scale(), opts.seed) {
+            Ok(r) => (r.components, Some(r.stats.total_rounds())),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "sublinear" => {
+            let memory = if opts.memory > 0 {
+                opts.memory
+            } else {
+                (g.num_vertices() as f64).sqrt().ceil() as usize * 8
+            };
+            match sublinear_components(&g, memory, &SublinearParams::laptop_scale(), opts.seed) {
+                Ok(r) => (r.components, Some(r.stats.total_rounds())),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "hash-to-min" => {
+            let mut ctx = MpcContext::new(
+                MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5).permissive(),
+            );
+            let r = run_baseline("hash-to-min", &g, &mut ctx, opts.seed);
+            (r.labels, Some(r.rounds))
+        }
+        "union-find" => (wcc_baselines::sequential_components(&g), None),
+        other => {
+            eprintln!("error: unknown algorithm {other:?}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("components: {}", labels.num_components());
+    match rounds {
+        Some(r) => println!("simulated MPC rounds: {r}"),
+        None => println!("simulated MPC rounds: n/a (sequential reference)"),
+    }
+    if opts.show_sizes {
+        let mut sizes = labels.component_sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        println!("largest component sizes: {:?}", &sizes[..sizes.len().min(20)]);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,515 @@
+//! Step 3 — Connectivity on random graphs (Section 6).
+//!
+//! The centrepiece of the paper: a leader-election algorithm whose components
+//! grow *quadratically* per phase instead of by a constant factor. Phase `i`
+//! works on the contraction graph `H_i` of the `i`-th fresh random batch
+//! `G̃_i` with respect to the current component-partition `C_i`:
+//!
+//! 1. every super-vertex (part) becomes a **leader** independently with
+//!    probability `≈ 1/Δ_i`;
+//! 2. every non-leader that has a leader neighbour in `H_i` attaches to a
+//!    uniformly random one (`M(v)`), forming stars of expected size `Δ_i`
+//!    (Equipartition Lemma 6.4);
+//! 3. the stars are contracted, squaring the part size
+//!    (`Δ_{i+1} = Δ_i²`, Lemma 6.7) while the *fresh* batch used in the next
+//!    phase keeps the contracted graph distributed like a random graph.
+//!
+//! After `F = O(log log n)` phases the parts have size `n^{Ω(1)}`, the
+//! contraction of the full graph has `O(1)` diameter (Claim 6.13), and a
+//! level-by-level BFS finishes the job (Claim 6.14). Every phase costs `O(1)`
+//! MPC rounds (a constant number of shuffles / sort batches).
+
+use crate::params::Params;
+use crate::regularize::CoreError;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wcc_graph::{components, ComponentLabels, Graph, GraphBuilder, Partition};
+use wcc_mpc::MpcContext;
+
+/// The grouping decided by one leader-election round on a contraction graph.
+#[derive(Debug, Clone)]
+pub struct LeaderElectionOutcome {
+    /// For every vertex of the contraction graph, the index (in
+    /// `0..num_groups`) of the star it joined. Leaders and orphans form their
+    /// own groups.
+    pub group_of: Vec<usize>,
+    /// Number of groups (= leaders + orphans).
+    pub num_groups: usize,
+    /// Number of vertices elected leader.
+    pub num_leaders: usize,
+    /// Number of non-leaders with no leader neighbour (`M(v) = ⊥`); the paper
+    /// shows this is empty w.h.p. in the parameter regime of Lemma 6.4.
+    pub orphans: usize,
+}
+
+/// One leader-election round (`LeaderElection(H, d)` in the paper, with the
+/// corrected leader probability `1/d`): vertices of `h` become leaders with
+/// probability `leader_prob`; every non-leader joins a uniformly random
+/// leader neighbour.
+///
+/// Charges two MPC rounds (one to announce leaders to neighbours, one for the
+/// join messages).
+pub fn leader_election<R: Rng + ?Sized>(
+    h: &Graph,
+    leader_prob: f64,
+    ctx: &mut MpcContext,
+    rng: &mut R,
+) -> LeaderElectionOutcome {
+    let k = h.num_vertices();
+    let p = leader_prob.clamp(0.0, 1.0);
+    let is_leader: Vec<bool> = (0..k).map(|_| rng.gen_bool(p)).collect();
+    ctx.charge_shuffle(2 * h.num_edges());
+    let _ = ctx.record_balanced_load(2 * h.num_edges());
+
+    // M(v): a uniformly random leader neighbour (reservoir sampling over the
+    // adjacency list so parallel edges weight leaders proportionally, exactly
+    // like the paper's uniform choice over N_L(v)).
+    let mut group_raw = vec![usize::MAX; k];
+    let mut num_leaders = 0usize;
+    for v in 0..k {
+        if is_leader[v] {
+            group_raw[v] = v;
+            num_leaders += 1;
+        }
+    }
+    ctx.charge_shuffle(2 * h.num_edges());
+    let mut orphans = 0usize;
+    for v in 0..k {
+        if is_leader[v] {
+            continue;
+        }
+        let mut chosen: Option<usize> = None;
+        let mut seen = 0usize;
+        for &w in h.neighbors(v) {
+            let w = w as usize;
+            if w != v && is_leader[w] {
+                seen += 1;
+                if rng.gen_range(0..seen) == 0 {
+                    chosen = Some(w);
+                }
+            }
+        }
+        match chosen {
+            Some(leader) => group_raw[v] = leader,
+            None => {
+                // M(v) = ⊥: the vertex stays a singleton group this phase.
+                group_raw[v] = v;
+                orphans += 1;
+            }
+        }
+    }
+    let canonical = ComponentLabels::from_raw_labels(&group_raw);
+    LeaderElectionOutcome {
+        num_groups: canonical.num_components(),
+        group_of: canonical.labels().to_vec(),
+        num_leaders,
+        orphans,
+    }
+}
+
+/// Builds the contraction graph (Definition 2) of `g` with respect to
+/// `partition`: one vertex per part, one edge per pair of parts joined by at
+/// least one edge of `g` (no self-loops, no parallel edges).
+///
+/// Charges one sort over the edge list (contract + dedup).
+pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext) -> Graph {
+    ctx.charge_sort(g.num_edges().max(1));
+    let mut edges: Vec<(usize, usize)> = g
+        .edge_iter()
+        .map(|(u, v)| {
+            let (a, b) = (partition.part_of(u), partition.part_of(v));
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .filter(|&(a, b)| a != b)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges_unchecked(partition.num_parts(), edges)
+}
+
+/// Per-phase statistics recorded by [`grow_components`] — the measurements
+/// behind experiment E3 (quadratic growth) and the discrepancy drift the
+/// proof of Lemma 6.7 tracks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrowPhaseStats {
+    /// Phase index (1-based, as in the paper).
+    pub phase: usize,
+    /// The schedule degree `Δ_i` the phase targeted.
+    pub target_degree: u64,
+    /// Number of parts before the phase.
+    pub parts_before: usize,
+    /// Number of parts after the phase.
+    pub parts_after: usize,
+    /// Largest part size after the phase.
+    pub max_part_size: usize,
+    /// Median part size after the phase.
+    pub median_part_size: usize,
+    /// Mean degree of the contraction graph the phase worked on.
+    pub mean_contraction_degree: f64,
+    /// Leaders elected in the phase.
+    pub leaders: usize,
+    /// Non-leaders that found no leader neighbour.
+    pub orphans: usize,
+}
+
+/// The outcome of the growth stage.
+#[derive(Debug, Clone)]
+pub struct GrowOutcome {
+    /// The component-partition after the last phase (a refinement of the true
+    /// components; usually much coarser than singletons).
+    pub partition: Partition,
+    /// Per-phase statistics.
+    pub phases: Vec<GrowPhaseStats>,
+}
+
+/// `GrowComponents(G̃, Δ)` (Section 6.1): one leader-election phase per fresh
+/// batch, with the degree schedule `Δ_i = Δ^{2^{i-1}}`.
+///
+/// `batches` are the edge batches `G̃_1, …, G̃_F` (all on the same vertex
+/// set). The returned partition never merges vertices from different true
+/// components of the union of the batches, because every merge follows an
+/// actual edge.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadParams`] if the batches disagree on the vertex
+/// count or there are none.
+pub fn grow_components<R: Rng + ?Sized>(
+    batches: &[Graph],
+    params: &Params,
+    ctx: &mut MpcContext,
+    rng: &mut R,
+) -> Result<GrowOutcome, CoreError> {
+    let n = match batches.first() {
+        Some(b) => b.num_vertices(),
+        None => {
+            return Err(CoreError::BadParams(
+                "grow_components needs at least one batch".to_string(),
+            ))
+        }
+    };
+    if batches.iter().any(|b| b.num_vertices() != n) {
+        return Err(CoreError::BadParams(
+            "all batches must share one vertex set".to_string(),
+        ));
+    }
+    ctx.begin_phase("grow-components");
+    let schedule = params.degree_schedule(n);
+    let s = params.s_factor(n) as f64;
+    let mut partition = Partition::singletons(n);
+    let mut phases = Vec::new();
+
+    for (i, batch) in batches.iter().enumerate() {
+        let target_degree = *schedule.get(i).unwrap_or(schedule.last().unwrap_or(&2));
+        let h = contraction_graph(batch, &partition, ctx);
+        let mean_degree = if h.num_vertices() == 0 {
+            0.0
+        } else {
+            h.degree_sum() as f64 / h.num_vertices() as f64
+        };
+        // Leader probability 1/Δ_i, but never so small that the expected
+        // number of leaders drops below a handful (the endgame BFS picks up
+        // any slack, exactly as the paper stops growing at Δ_F ≈ n^{1/100}).
+        let leader_prob = (1.0 / target_degree as f64).max(s / h.num_vertices().max(1) as f64).min(1.0);
+        let outcome = leader_election(&h, leader_prob, ctx, rng);
+        partition = partition.coarsen(&outcome.group_of);
+
+        let mut sizes = partition.part_sizes();
+        sizes.sort_unstable();
+        phases.push(GrowPhaseStats {
+            phase: i + 1,
+            target_degree,
+            parts_before: h.num_vertices(),
+            parts_after: partition.num_parts(),
+            max_part_size: *sizes.last().unwrap_or(&0),
+            median_part_size: sizes.get(sizes.len() / 2).copied().unwrap_or(0),
+            mean_contraction_degree: mean_degree,
+            leaders: outcome.num_leaders,
+            orphans: outcome.orphans,
+        });
+    }
+    ctx.end_phase();
+    Ok(GrowOutcome { partition, phases })
+}
+
+/// The endgame (Claims 6.13 / 6.14): contract the *whole* graph `g` with
+/// respect to `partition`, compute the connected components of the contracted
+/// graph by level-by-level BFS — charging one MPC round per BFS level, i.e.
+/// `O(diameter)` rounds, which is `O(1)` when the growth stage did its job —
+/// and coarsen the partition accordingly.
+///
+/// The result is exactly the component-partition of `g` (BFS finishes any
+/// merges the randomized phases left undone, so correctness never depends on
+/// the probabilistic analysis).
+pub fn finish_with_bfs(
+    g: &Graph,
+    partition: &Partition,
+    ctx: &mut MpcContext,
+) -> (Partition, usize) {
+    ctx.begin_phase("low-diameter-bfs");
+    let h = contraction_graph(g, partition, ctx);
+    let k = h.num_vertices();
+    let mut label = vec![usize::MAX; k];
+    let mut num_components = 0usize;
+    let mut max_levels = 0usize;
+    for start in 0..k {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = num_components;
+        let mut frontier = vec![start];
+        let mut levels = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in h.neighbors(v) {
+                    let w = w as usize;
+                    if label[w] == usize::MAX {
+                        label[w] = num_components;
+                        next.push(w);
+                    }
+                }
+            }
+            if !next.is_empty() {
+                levels += 1;
+            }
+            frontier = next;
+        }
+        max_levels = max_levels.max(levels);
+        num_components += 1;
+    }
+    // One MPC round per BFS level (all components proceed in parallel, so the
+    // cost is the maximum level count, not the sum).
+    ctx.charge(max_levels.max(1) as u64, 2 * h.num_edges() as u64);
+    ctx.end_phase();
+    (partition.coarsen(&label), max_levels)
+}
+
+/// Convenience: the exact connected components of a union of random batches,
+/// i.e. `grow_components` followed by [`finish_with_bfs`] on the union —
+/// Lemma 6.2 / Lemma 6.1 packaged together.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from [`grow_components`].
+pub fn components_of_random_union<R: Rng + ?Sized>(
+    batches: &[Graph],
+    params: &Params,
+    ctx: &mut MpcContext,
+    rng: &mut R,
+) -> Result<(ComponentLabels, GrowOutcome, usize), CoreError> {
+    let grow = grow_components(batches, params, ctx, rng)?;
+    let union = union_of(batches);
+    let (final_partition, bfs_levels) = finish_with_bfs(&union, &grow.partition, ctx);
+    Ok((final_partition.to_component_labels(), grow, bfs_levels))
+}
+
+/// Disjoint-edge-set union of batches sharing a vertex set.
+pub fn union_of(batches: &[Graph]) -> Graph {
+    let n = batches.first().map_or(0, Graph::num_vertices);
+    let mut builder = GraphBuilder::new(n);
+    for b in batches {
+        for (u, v) in b.edge_iter() {
+            builder.add_edge(u, v).expect("batch edges in range");
+        }
+    }
+    builder.build()
+}
+
+/// Sanity helper used by tests and experiments: `true` iff `partition` never
+/// merges two vertices that lie in different components of `g`.
+pub fn respects_components(g: &Graph, partition: &Partition) -> bool {
+    partition.respects(&components::connected_components(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+    use wcc_mpc::MpcConfig;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::for_input_size(1 << 16, 0.5).permissive())
+    }
+
+    fn batches_for(n: usize, degree: usize, count: usize, rng: &mut ChaCha8Rng) -> Vec<Graph> {
+        (0..count)
+            .map(|_| generators::random_out_degree_graph(n, degree, rng))
+            .collect()
+    }
+
+    #[test]
+    fn leader_election_partitions_all_vertices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let h = generators::random_out_degree_graph(500, 40, &mut rng);
+        let mut c = ctx();
+        let out = leader_election(&h, 1.0 / 10.0, &mut c, &mut rng);
+        assert_eq!(out.group_of.len(), 500);
+        assert_eq!(
+            out.num_groups,
+            *out.group_of.iter().max().unwrap() + 1,
+            "group ids must be contiguous"
+        );
+        assert!(out.num_leaders > 10);
+        // With degree ~40 and leader probability 1/10 orphans are rare.
+        assert!(out.orphans < 25, "too many orphans: {}", out.orphans);
+        // Groups are stars around leaders: every group is a component of H.
+        let part = Partition::from_raw_labels(&out.group_of);
+        assert!(respects_components(&h, &part));
+    }
+
+    #[test]
+    fn leader_election_with_probability_one_keeps_singletons() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let h = generators::cycle(20);
+        let mut c = ctx();
+        let out = leader_election(&h, 1.0, &mut c, &mut rng);
+        assert_eq!(out.num_groups, 20);
+        assert_eq!(out.num_leaders, 20);
+    }
+
+    #[test]
+    fn leader_election_grows_stars_of_expected_size() {
+        // Equipartition Lemma 6.4 (qualitatively): on a d·s-regular random
+        // graph with leader probability 1/d, star sizes concentrate around d.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = 8usize;
+        let s = 16usize;
+        let h = generators::random_out_degree_graph(4000, d * s, &mut rng);
+        let mut c = ctx();
+        let out = leader_election(&h, 1.0 / d as f64, &mut c, &mut rng);
+        let part = Partition::from_raw_labels(&out.group_of);
+        let sizes = part.part_sizes();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            (mean - d as f64).abs() < 0.5 * d as f64,
+            "mean star size {mean}, expected about {d}"
+        );
+        assert!(out.orphans == 0, "orphans on a dense random graph: {}", out.orphans);
+    }
+
+    #[test]
+    fn contraction_graph_drops_loops_and_parallels() {
+        let g = Graph::from_edges_unchecked(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (0, 2)]);
+        let part = Partition::from_raw_labels(&[0, 0, 0, 1, 1, 1]);
+        let mut c = ctx();
+        let h = contraction_graph(&g, &part, &mut c);
+        assert_eq!(h.num_vertices(), 2);
+        assert_eq!(h.num_edges(), 1, "parallel contracted edges must be deduplicated");
+        assert!(!h.has_self_loops());
+    }
+
+    #[test]
+    fn grow_components_squares_part_sizes_per_phase() {
+        // E3 in miniature: with batches of degree Δ·s and the schedule
+        // Δ, Δ², …, the max part size should grow super-linearly per phase.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let params = Params::laptop_scale();
+        let n = 6000;
+        let degree = params.batch_degree(n);
+        let f = params.num_phases(n);
+        let batches = batches_for(n, degree, f, &mut rng);
+        let mut c = ctx();
+        let grow = grow_components(&batches, &params, &mut c, &mut rng).unwrap();
+        assert_eq!(grow.phases.len(), f);
+        // Sizes grow phase over phase, and by more than a constant factor.
+        let sizes: Vec<usize> = grow.phases.iter().map(|p| p.median_part_size).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[1] >= w[0]),
+            "median part sizes must be monotone: {sizes:?}"
+        );
+        let growth_first = grow.phases[0].median_part_size.max(1);
+        let growth_last = grow.phases.last().unwrap().median_part_size;
+        assert!(
+            growth_last >= growth_first * growth_first / 2,
+            "expected roughly quadratic growth, got {growth_first} -> {growth_last}"
+        );
+        // Safety: never merges across true components.
+        let union = union_of(&batches);
+        assert!(respects_components(&union, &grow.partition));
+    }
+
+    #[test]
+    fn grow_components_rejects_mismatched_batches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let params = Params::test_scale();
+        let mut c = ctx();
+        let batches = vec![
+            generators::cycle(10),
+            generators::cycle(12),
+        ];
+        assert!(matches!(
+            grow_components(&batches, &params, &mut c, &mut rng),
+            Err(CoreError::BadParams(_))
+        ));
+        let empty: Vec<Graph> = Vec::new();
+        assert!(matches!(
+            grow_components(&empty, &params, &mut c, &mut rng),
+            Err(CoreError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn finish_with_bfs_recovers_exact_components() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = generators::planted_expander_components(&[80, 60, 40], 8, &mut rng);
+        let truth = connected_components(&g);
+        let mut c = ctx();
+        // Start from singletons: BFS alone must still find the exact answer
+        // (just in diameter many rounds).
+        let (part, levels) = finish_with_bfs(&g, &Partition::singletons(g.num_vertices()), &mut c);
+        assert!(part.equals_components(&truth));
+        assert!(levels >= 1);
+    }
+
+    #[test]
+    fn components_of_random_union_matches_ground_truth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let params = Params::laptop_scale();
+        let n = 1500;
+        let degree = params.batch_degree(n);
+        let f = params.num_phases(n);
+        let batches = batches_for(n, degree, f, &mut rng);
+        let mut c = ctx();
+        let (labels, _grow, bfs_levels) =
+            components_of_random_union(&batches, &params, &mut c, &mut rng).unwrap();
+        let truth = connected_components(&union_of(&batches));
+        assert!(labels.same_partition(&truth));
+        // The endgame on a dense random union must be very shallow.
+        assert!(bfs_levels <= 4, "endgame BFS took {bfs_levels} levels");
+    }
+
+    #[test]
+    fn grow_components_round_cost_is_constant_per_phase() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let params = Params::laptop_scale();
+        let n = 2000;
+        let degree = params.batch_degree(n);
+        let f = params.num_phases(n);
+        let batches = batches_for(n, degree, f, &mut rng);
+        let mut c = ctx();
+        let _ = grow_components(&batches, &params, &mut c, &mut rng).unwrap();
+        let rounds = c.stats().rounds_in_phase("grow-components");
+        // A constant number of shuffles/sorts per phase; generous bound.
+        assert!(
+            rounds <= 8 * f as u64,
+            "{rounds} rounds for {f} phases is not O(1) per phase"
+        );
+    }
+
+    #[test]
+    fn union_respects_vertex_set() {
+        let a = generators::cycle(10);
+        let b = generators::path(10);
+        let u = union_of(&[a.clone(), b.clone()]);
+        assert_eq!(u.num_vertices(), 10);
+        assert_eq!(u.num_edges(), a.num_edges() + b.num_edges());
+    }
+}

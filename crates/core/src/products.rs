@@ -1,0 +1,317 @@
+//! Replacement and zig-zag products for (possibly non-regular) base graphs
+//! (Section 4 and Appendix C of the paper).
+//!
+//! Given a base graph `G` and a family `H = {H_v}` where `H_v` is a
+//! `d`-regular graph on `deg_G(v)` vertices, the replacement product
+//! `G ⓡ H` replaces every vertex by its "cloud" `H_v` and connects clouds
+//! along the edges of `G` using a fixed *port numbering*: if the edge
+//! `{u, v}` is `u`'s `i`-th edge and `v`'s `j`-th edge, then cloud vertex
+//! `(u, i)` is joined to `(v, j)`. The result is `(d+1)`-regular on
+//! `Σ_v deg(v)` vertices, preserves connected components one-to-one, and
+//! preserves the spectral gap up to a factor `Θ(1/d)` (Proposition 4.2 /
+//! Appendix C) — which is exactly what the regularization step needs.
+//!
+//! The zig-zag product `G ⓩ H` (Appendix C) connects `(u, i)` to `(v, j)`
+//! whenever a cloud-step/inter-cloud-step/cloud-step path joins them in
+//! `G ⓡ H`; it is `d²`-regular and preserves the gap up to `λ_G · λ_H²`
+//! (Proposition C.1). It is not needed by the pipeline but is implemented
+//! (and numerically checked) because the paper's Appendix C proof is stated
+//! for it first and the replacement-product bound is derived from it.
+
+use wcc_graph::{Graph, GraphBuilder};
+
+/// The vertex layout of a product graph: cloud vertex `(v, port)` of the base
+/// graph maps to the flat index `offsets[v] + port`.
+#[derive(Debug, Clone)]
+pub struct ProductLayout {
+    /// Prefix sums of base-graph degrees; `offsets[v]` is the first flat
+    /// index of `v`'s cloud and `offsets[n]` is the total vertex count.
+    pub offsets: Vec<usize>,
+    /// For every flat index, the base vertex whose cloud it belongs to.
+    pub cloud_of: Vec<usize>,
+}
+
+impl ProductLayout {
+    /// Builds the layout for base graph `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + g.degree(v));
+        }
+        let mut cloud_of = vec![0usize; offsets[n]];
+        for v in 0..n {
+            for idx in offsets[v]..offsets[v + 1] {
+                cloud_of[idx] = v;
+            }
+        }
+        ProductLayout { offsets, cloud_of }
+    }
+
+    /// Flat index of cloud vertex `(v, port)`.
+    pub fn index(&self, v: usize, port: usize) -> usize {
+        self.offsets[v] + port
+    }
+
+    /// Total number of product vertices (`2m` for a base graph with `m`
+    /// non-loop edges plus loops counted once).
+    pub fn num_vertices(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+}
+
+/// Port numbering of the base graph: for every edge (in edge-list order), the
+/// position it occupies in each endpoint's adjacency list. Matches the order
+/// in which [`Graph::neighbors`] lists neighbours.
+fn port_assignment(g: &Graph) -> Vec<(usize, usize)> {
+    let mut next_port = vec![0usize; g.num_vertices()];
+    let mut ports = Vec::with_capacity(g.num_edges());
+    for &(u, v) in g.edges() {
+        let (u, v) = (u as usize, v as usize);
+        if u == v {
+            let p = next_port[u];
+            next_port[u] += 1;
+            ports.push((p, p));
+        } else {
+            let pu = next_port[u];
+            next_port[u] += 1;
+            let pv = next_port[v];
+            next_port[v] += 1;
+            ports.push((pu, pv));
+        }
+    }
+    ports
+}
+
+fn check_cloud_family(g: &Graph, clouds: &[Graph]) {
+    assert_eq!(
+        clouds.len(),
+        g.num_vertices(),
+        "need exactly one cloud per base vertex"
+    );
+    for (v, cloud) in clouds.iter().enumerate() {
+        assert_eq!(
+            cloud.num_vertices(),
+            g.degree(v),
+            "cloud of vertex {v} must have deg({v}) = {} vertices, got {}",
+            g.degree(v),
+            cloud.num_vertices()
+        );
+    }
+}
+
+/// The replacement product `G ⓡ H`.
+///
+/// `clouds[v]` must be a graph on exactly `deg_G(v)` vertices; if every cloud
+/// is `d`-regular, the product is `(d+1)`-regular (with this crate's
+/// convention that a base self-loop becomes a product self-loop contributing
+/// one to the degree).
+///
+/// Returns the product graph together with its [`ProductLayout`].
+///
+/// # Panics
+///
+/// Panics if `clouds` has the wrong length or a cloud has the wrong size.
+pub fn replacement_product(g: &Graph, clouds: &[Graph]) -> (Graph, ProductLayout) {
+    check_cloud_family(g, clouds);
+    let layout = ProductLayout::new(g);
+    let total = layout.num_vertices();
+    let intra_edges: usize = clouds.iter().map(Graph::num_edges).sum();
+    let mut builder = GraphBuilder::with_capacity(total, intra_edges + g.num_edges());
+
+    // Intra-cloud edges: a copy of H_v on v's ports.
+    for (v, cloud) in clouds.iter().enumerate() {
+        for (a, b) in cloud.edge_iter() {
+            builder
+                .add_edge(layout.index(v, a), layout.index(v, b))
+                .expect("cloud indices in range");
+        }
+    }
+    // Inter-cloud edges along the port numbering.
+    for (&(u, v), &(pu, pv)) in g.edges().iter().zip(port_assignment(g).iter()) {
+        let (u, v) = (u as usize, v as usize);
+        builder
+            .add_edge(layout.index(u, pu), layout.index(v, pv))
+            .expect("port indices in range");
+    }
+    (builder.build(), layout)
+}
+
+/// The zig-zag product `G ⓩ H` (Appendix C).
+///
+/// `clouds[v]` must be a graph on exactly `deg_G(v)` vertices. If every cloud
+/// is `d`-regular the product is `d²`-regular. Intended for analysis-scale
+/// graphs (its edge count is `d²` per base edge).
+///
+/// # Panics
+///
+/// Panics if `clouds` has the wrong length or a cloud has the wrong size.
+pub fn zigzag_product(g: &Graph, clouds: &[Graph]) -> (Graph, ProductLayout) {
+    check_cloud_family(g, clouds);
+    let layout = ProductLayout::new(g);
+    let mut builder = GraphBuilder::new(layout.num_vertices());
+    for (&(u, v), &(pu, pv)) in g.edges().iter().zip(port_assignment(g).iter()) {
+        let (u, v) = (u as usize, v as usize);
+        // A zig-zag edge is cloud-step in H_u, the inter-cloud edge, then a
+        // cloud-step in H_v.
+        for &i in clouds[u].neighbors(pu) {
+            for &j in clouds[v].neighbors(pv) {
+                builder
+                    .add_edge(layout.index(u, i as usize), layout.index(v, j as usize))
+                    .expect("port indices in range");
+            }
+        }
+    }
+    (builder.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+
+    /// A d-regular cloud on `size` vertices for tests (complete-ish multigraph
+    /// via the permutation model; handles the tiny sizes specially).
+    fn cloud(size: usize, d: usize, rng: &mut ChaCha8Rng) -> Graph {
+        match size {
+            0 => Graph::empty(0),
+            1 => Graph::from_edges_unchecked(1, (0..d).map(|_| (0, 0))),
+            2 => Graph::from_edges_unchecked(2, (0..d / 2).map(|_| (0, 1)).chain((0..d / 2).map(|_| (0, 1)))),
+            _ => generators::random_regular_permutation_graph(size, d, rng),
+        }
+    }
+
+    fn cloud_family(g: &Graph, d: usize, seed: u64) -> Vec<Graph> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..g.num_vertices()).map(|v| cloud(g.degree(v), d, &mut rng)).collect()
+    }
+
+    #[test]
+    fn layout_offsets_match_degrees() {
+        let g = generators::star(5);
+        let layout = ProductLayout::new(&g);
+        assert_eq!(layout.num_vertices(), 2 * g.num_edges());
+        assert_eq!(layout.cloud_of[0], 0);
+        assert_eq!(layout.offsets[1] - layout.offsets[0], 4); // centre has degree 4
+    }
+
+    #[test]
+    fn replacement_product_is_d_plus_1_regular() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::random_out_degree_graph(60, 10, &mut rng);
+        let d = 4;
+        let clouds = cloud_family(&g, d, 2);
+        let (product, layout) = replacement_product(&g, &clouds);
+        assert_eq!(product.num_vertices(), layout.num_vertices());
+        assert_eq!(product.num_vertices(), 2 * g.num_edges() - g.edges().iter().filter(|&&(u, v)| u == v).count());
+        assert!(
+            product.is_regular(d + 1),
+            "degrees: min {} max {}",
+            product.min_degree(),
+            product.max_degree()
+        );
+    }
+
+    #[test]
+    fn replacement_product_preserves_components_one_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::planted_expander_components(&[20, 30, 15], 6, &mut rng);
+        let clouds = cloud_family(&g, 4, 4);
+        let (product, layout) = replacement_product(&g, &clouds);
+        let base_cc = connected_components(&g);
+        let prod_cc = connected_components(&product);
+        assert_eq!(base_cc.num_components(), prod_cc.num_components());
+        // Two product vertices are in the same product component iff their
+        // base vertices are in the same base component.
+        for idx in 0..product.num_vertices() {
+            for jdx in (idx + 1)..product.num_vertices().min(idx + 50) {
+                let same_base =
+                    base_cc.same_component(layout.cloud_of[idx], layout.cloud_of[jdx]);
+                let same_prod = prod_cc.same_component(idx, jdx);
+                assert_eq!(same_base, same_prod, "vertices {idx},{jdx}");
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_product_roughly_preserves_spectral_gap_of_expanders() {
+        // Proposition 4.2: λ₂(G ⓡ H) = Ω(λ_G · λ_H² / d). With constant-degree
+        // expander clouds the product gap must stay bounded away from zero.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_regular_permutation_graph(80, 12, &mut rng);
+        let gap_g = spectral::spectral_gap(&g, 300);
+        let clouds = cloud_family(&g, 6, 6);
+        let (product, _) = replacement_product(&g, &clouds);
+        let gap_p = spectral::spectral_gap(&product, 600);
+        assert!(gap_g > 0.2);
+        assert!(
+            gap_p > 0.01,
+            "product gap collapsed: base {gap_g}, product {gap_p}"
+        );
+    }
+
+    #[test]
+    fn replacement_product_handles_self_loops_and_degree_one_vertices() {
+        // A path with a pendant self-loop: degrees 1, 2, 2 (loop counts once).
+        let g = Graph::from_edges_unchecked(3, vec![(0, 1), (1, 2), (2, 2)]);
+        let clouds = vec![
+            cloud(1, 4, &mut ChaCha8Rng::seed_from_u64(0)),
+            cloud(2, 4, &mut ChaCha8Rng::seed_from_u64(0)),
+            cloud(2, 4, &mut ChaCha8Rng::seed_from_u64(0)),
+        ];
+        let (product, _) = replacement_product(&g, &clouds);
+        assert_eq!(product.num_vertices(), 5);
+        assert_eq!(connected_components(&product).num_components(), 1);
+        assert!(product.is_regular(5), "max {} min {}", product.max_degree(), product.min_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cloud per base vertex")]
+    fn wrong_cloud_count_panics() {
+        let g = generators::cycle(4);
+        let _ = replacement_product(&g, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have deg")]
+    fn wrong_cloud_size_panics() {
+        let g = generators::cycle(4);
+        let clouds: Vec<Graph> = (0..4).map(|_| Graph::empty(3)).collect();
+        let _ = replacement_product(&g, &clouds);
+    }
+
+    #[test]
+    fn zigzag_product_is_d_squared_regular_and_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = generators::random_regular_permutation_graph(40, 8, &mut rng);
+        let d = 4;
+        let clouds = cloud_family(&g, d, 8);
+        let (zz, _) = zigzag_product(&g, &clouds);
+        assert!(zz.is_regular(d * d), "max {} min {}", zz.max_degree(), zz.min_degree());
+        assert_eq!(connected_components(&zz).num_components(), 1);
+        let gap = spectral::spectral_gap(&zz, 400);
+        assert!(gap > 0.02, "zig-zag gap {gap}");
+    }
+
+    #[test]
+    fn zigzag_keeps_components_separate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = generators::planted_expander_components(&[16, 24], 6, &mut rng);
+        let clouds = cloud_family(&g, 4, 10);
+        let (zz, layout) = zigzag_product(&g, &clouds);
+        let base_cc = connected_components(&g);
+        let zz_cc = connected_components(&zz);
+        assert_eq!(zz_cc.num_components(), base_cc.num_components());
+        for idx in (0..zz.num_vertices()).step_by(7) {
+            for jdx in (0..zz.num_vertices()).step_by(11) {
+                assert_eq!(
+                    zz_cc.same_component(idx, jdx),
+                    base_cc.same_component(layout.cloud_of[idx], layout.cloud_of[jdx])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Step 2 — Randomization via independent random walks
+//! (Section 5, Theorem 3 and Lemma 5.1).
+//!
+//! The pipeline needs, for every vertex of the (now regular) graph,
+//! `Θ(log n)` *independent* endpoints of lazy random walks whose length `T`
+//! exceeds the mixing time of the vertex's component. Connecting every vertex
+//! to its endpoints turns each component into (something `n^{-8}`-close in
+//! total variation to) the random graph `G(n_i, Θ(log n))`, which Step 3
+//! knows how to solve in `O(log log n)` rounds.
+//!
+//! Two implementations are provided:
+//!
+//! * [`layered_walk_bundle`] — the **faithful** data structure of Theorem 3:
+//!   the sampled layered graph `G_S` (one sampled out-edge per layered
+//!   vertex), endpoint computation by pointer doubling in `log t` steps, and
+//!   the `Mark`/`DetectIndependence` pass that certifies which walks are
+//!   vertex-disjoint (and therefore mutually independent, Observation 5.2).
+//!   Memory is `Θ(n · t · copies)`, so it is meant for analysis-scale runs
+//!   and for experiment E4.
+//! * [`direct_walk_targets`] — the **direct** simulation: each walk is
+//!   simulated step by step with its own randomness, which produces *exactly*
+//!   the product distribution `⊗_v D_RW(v, t)` that Theorem 3 guarantees.
+//!   The pipeline uses this mode at scale and charges the `O(log t)` rounds
+//!   of the theorem (the substitution is documented in DESIGN.md).
+
+use crate::regularize::CoreError;
+
+use rand::Rng;
+use wcc_graph::{Graph, GraphBuilder};
+use wcc_mpc::MpcContext;
+
+/// Which implementation of the Theorem-3 walk primitive to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkMode {
+    /// Direct per-walk simulation (exact same output distribution, cheap).
+    Direct,
+    /// The layered-graph data structure with independence detection.
+    Faithful,
+}
+
+/// The outcome of one run of the layered-graph walk data structure: one
+/// length-`t` walk endpoint per vertex, plus a flag saying whether the walk
+/// was certified independent of all other walks in this bundle.
+#[derive(Debug, Clone)]
+pub struct WalkBundle {
+    /// `targets[v]` is the endpoint of the walk that started at `v`.
+    pub targets: Vec<usize>,
+    /// `independent[v]` is `true` if `v`'s path in the sampled layered graph
+    /// was vertex-disjoint from every other start's path (Lemma 5.3 certifies
+    /// this happens with probability at least 1/2 per start).
+    pub independent: Vec<bool>,
+}
+
+/// Rounds charged for one execution of the Theorem-3 data structure on walks
+/// of length `t`: sampling `G_S` (1), pointer doubling (`⌈log₂ t⌉`), and the
+/// Mark/DetectIndependence pass (`⌈log₂ t⌉` more), each a constant number of
+/// sort/search batches.
+fn walk_rounds(t: usize) -> u64 {
+    let log_t = (usize::BITS - t.max(2).next_power_of_two().leading_zeros()) as u64;
+    1 + 2 * log_t
+}
+
+/// Runs the faithful layered-graph construction (Theorem 3) once.
+///
+/// `copies_multiplier` controls the number of copies per layer (`multiplier ×
+/// t`, the paper uses `2t`). Larger values reduce collisions and raise the
+/// fraction of certified-independent walks.
+///
+/// # Panics
+///
+/// Panics if the graph has an isolated vertex (the paper assumes minimum
+/// degree 1 throughout) or if `t == 0`.
+pub fn layered_walk_bundle<R: Rng + ?Sized>(
+    g: &Graph,
+    t: usize,
+    copies_multiplier: usize,
+    rng: &mut R,
+) -> WalkBundle {
+    assert!(t >= 1, "walk length must be positive");
+    let n = g.num_vertices();
+    assert!(
+        (0..n).all(|v| g.degree(v) > 0),
+        "layered walks require minimum degree 1 (no isolated vertices)"
+    );
+    let t = t.next_power_of_two();
+    let copies = (copies_multiplier.max(1) * t).max(2);
+    let layer_size = n * copies;
+    let num_vertices = layer_size * (t + 1);
+    const NONE: u32 = u32::MAX;
+    assert!(
+        num_vertices < NONE as usize,
+        "layered graph too large for u32 indexing"
+    );
+
+    let index = |v: usize, c: usize, j: usize| -> usize { j * layer_size + c * n + v };
+
+    // Sample the sampled layered graph G_S: one outgoing edge per vertex of
+    // layers 0..t (Definition 1 + "Sampled layered graph").
+    let mut next: Vec<u32> = vec![NONE; num_vertices];
+    for j in 0..t {
+        for c in 0..copies {
+            for v in 0..n {
+                let deg = g.degree(v);
+                let nbr = g
+                    .nth_neighbor(v, rng.gen_range(0..deg))
+                    .expect("degree > 0");
+                let target_copy = rng.gen_range(0..copies);
+                next[index(v, c, j)] = index(nbr, target_copy, j + 1) as u32;
+            }
+        }
+    }
+
+    // Mark: follow each start's path step by step, counting visits per
+    // layered vertex (this is the information the recursive Mark procedure
+    // materialises).
+    let mut visits: Vec<u8> = vec![0; num_vertices];
+    for v in 0..n {
+        let mut cur = index(v, 0, 0);
+        visits[cur] = visits[cur].saturating_add(1);
+        for _ in 0..t {
+            cur = next[cur] as usize;
+            visits[cur] = visits[cur].saturating_add(1);
+        }
+    }
+
+    // DetectIndependence: a start is independent iff every vertex on its path
+    // was visited exactly once.
+    let mut independent = vec![true; n];
+    for v in 0..n {
+        let mut cur = index(v, 0, 0);
+        let mut ok = visits[cur] == 1;
+        for _ in 0..t {
+            cur = next[cur] as usize;
+            if visits[cur] != 1 {
+                ok = false;
+            }
+        }
+        independent[v] = ok;
+    }
+
+    // Endpoint computation by pointer doubling (`N_k(α) = N_{k-1}(N_{k-1}(α))`).
+    let log_t = t.trailing_zeros();
+    let mut jump = next;
+    for _ in 0..log_t {
+        let mut squared = vec![NONE; num_vertices];
+        for (alpha, &beta) in jump.iter().enumerate() {
+            if beta != NONE {
+                squared[alpha] = jump[beta as usize];
+            }
+        }
+        jump = squared;
+    }
+    let targets: Vec<usize> = (0..n)
+        .map(|v| {
+            let end = if log_t == 0 {
+                jump[index(v, 0, 0)]
+            } else {
+                jump[index(v, 0, 0)]
+            };
+            (end as usize) % n
+        })
+        .collect();
+
+    WalkBundle {
+        targets,
+        independent,
+    }
+}
+
+/// Directly simulates one walk of length `t` from every vertex, each with its
+/// own randomness (so the endpoints are mutually independent by
+/// construction). On a regular graph this is exactly the distribution
+/// Theorem 3 produces.
+pub fn direct_walk_targets<R: Rng + ?Sized>(g: &Graph, t: usize, rng: &mut R) -> Vec<usize> {
+    (0..g.num_vertices())
+        .map(|v| direct_walk_endpoint(g, v, t, rng))
+        .collect()
+}
+
+/// Endpoint of a single uniform-neighbour walk of length `t` from `start`
+/// (self-loops make it lazy). Isolated vertices stay put.
+pub fn direct_walk_endpoint<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    t: usize,
+    rng: &mut R,
+) -> usize {
+    let mut cur = start;
+    for _ in 0..t {
+        let deg = g.degree(cur);
+        if deg == 0 {
+            break;
+        }
+        cur = g.nth_neighbor(cur, rng.gen_range(0..deg)).expect("degree > 0");
+    }
+    cur
+}
+
+/// The distinct vertices visited by a single walk of length `t` from `start`,
+/// in first-visit order (used by the mildly-sublinear algorithm, Section 8).
+pub fn direct_walk_visits<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    t: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut order = Vec::new();
+    let mut cur = start;
+    seen.insert(cur);
+    order.push(cur);
+    for _ in 0..t {
+        let deg = g.degree(cur);
+        if deg == 0 {
+            break;
+        }
+        cur = g.nth_neighbor(cur, rng.gen_range(0..deg)).expect("degree > 0");
+        if seen.insert(cur) {
+            order.push(cur);
+        }
+    }
+    order
+}
+
+/// Theorem 3 + the lazification of Section 5.2, packaged for the pipeline:
+/// returns `walks_per_vertex` independent lazy-walk endpoints of length `t`
+/// for every vertex of the Δ-regular graph `g`, charging the `O(log t)` MPC
+/// rounds of the theorem (parallel repetitions cost machines, not rounds).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadParams`] if `g` is not regular (the guarantee of
+/// Theorem 3 — and the absence of walk "hubs" — requires regularity; that is
+/// what Step 1 is for).
+pub fn independent_lazy_walks<R: Rng + ?Sized>(
+    g: &Graph,
+    t: usize,
+    walks_per_vertex: usize,
+    mode: WalkMode,
+    copies_multiplier: usize,
+    ctx: &mut MpcContext,
+    rng: &mut R,
+) -> Result<Vec<Vec<usize>>, CoreError> {
+    let n = g.num_vertices();
+    let delta = g.max_degree();
+    if !g.is_regular(delta) || delta == 0 {
+        return Err(CoreError::BadParams(
+            "independent_lazy_walks requires a regular graph with positive degree".to_string(),
+        ));
+    }
+    // Section 5.2: add Δ self-loops so uniform steps become lazy steps.
+    let lazy = g.with_self_loops(delta);
+
+    ctx.charge(walk_rounds(t), (n * t.max(1)) as u64);
+    ctx.record_balanced_load(n.saturating_mul(t.max(1)).saturating_mul(2))?;
+
+    let mut out: Vec<Vec<usize>> = vec![Vec::with_capacity(walks_per_vertex); n];
+    match mode {
+        WalkMode::Direct => {
+            for targets in out.iter_mut() {
+                targets.reserve(walks_per_vertex);
+            }
+            for v in 0..n {
+                for _ in 0..walks_per_vertex {
+                    out[v].push(direct_walk_endpoint(&lazy, v, t, rng));
+                }
+            }
+        }
+        WalkMode::Faithful => {
+            // Keep drawing bundles; prefer certified-independent endpoints and
+            // top up with uncertified ones if a vertex falls behind (the paper
+            // instead repeats Θ(log n) times; the cap keeps runtime bounded).
+            let max_bundles = 4 * walks_per_vertex + 8;
+            let mut fallback: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for _ in 0..max_bundles {
+                if out.iter().all(|w| w.len() >= walks_per_vertex) {
+                    break;
+                }
+                let bundle = layered_walk_bundle(&lazy, t, copies_multiplier, rng);
+                for v in 0..n {
+                    if out[v].len() < walks_per_vertex {
+                        if bundle.independent[v] {
+                            out[v].push(bundle.targets[v]);
+                        } else {
+                            fallback[v].push(bundle.targets[v]);
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                while out[v].len() < walks_per_vertex {
+                    match fallback[v].pop() {
+                        Some(target) => out[v].push(target),
+                        None => out[v].push(direct_walk_endpoint(&lazy, v, t, rng)),
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Step 2 of the pipeline: Lemma 5.1.
+///
+/// Builds the randomized graph `H` on the same vertex set as the Δ-regular
+/// graph `g`: every vertex is connected to `out_degree / 2` independent
+/// lazy-walk endpoints of length `t`. If `t` is at least the `γ`-mixing time
+/// of each component, each component of `H` is close in distribution to
+/// `G(n_i, out_degree)` and in particular connected w.h.p.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from [`independent_lazy_walks`].
+pub fn randomize<R: Rng + ?Sized>(
+    g: &Graph,
+    t: usize,
+    out_degree: usize,
+    mode: WalkMode,
+    copies_multiplier: usize,
+    ctx: &mut MpcContext,
+    rng: &mut R,
+) -> Result<Graph, CoreError> {
+    ctx.begin_phase("randomize");
+    let walks_per_vertex = (out_degree / 2).max(1);
+    let endpoints = independent_lazy_walks(g, t, walks_per_vertex, mode, copies_multiplier, ctx, rng)?;
+    let n = g.num_vertices();
+    let mut builder = GraphBuilder::with_capacity(n, n * walks_per_vertex);
+    for (v, targets) in endpoints.iter().enumerate() {
+        for &u in targets {
+            builder.add_edge(v, u).expect("walk endpoints in range");
+        }
+    }
+    ctx.charge_shuffle(2 * n * walks_per_vertex);
+    ctx.end_phase();
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+    use wcc_graph::spectral::{lazy_walk_distribution, total_variation_distance};
+    use wcc_mpc::MpcConfig;
+
+    fn ctx_for(words: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::for_input_size(words.max(64), 0.5).permissive())
+    }
+
+    #[test]
+    fn direct_walk_stays_in_component() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::planted_expander_components(&[30, 30], 6, &mut rng);
+        let cc = connected_components(&g);
+        for v in (0..g.num_vertices()).step_by(5) {
+            let end = direct_walk_endpoint(&g, v, 40, &mut rng);
+            assert!(cc.same_component(v, end));
+        }
+    }
+
+    #[test]
+    fn direct_walk_on_isolated_vertex_stays_put() {
+        let g = Graph::empty(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(direct_walk_endpoint(&g, 1, 10, &mut rng), 1);
+        assert_eq!(direct_walk_visits(&g, 1, 10, &mut rng), vec![1]);
+    }
+
+    #[test]
+    fn walk_visits_cover_small_cycle() {
+        let g = generators::cycle(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let visits = direct_walk_visits(&g, 0, 500, &mut rng);
+        assert_eq!(visits.len(), 6);
+        assert_eq!(visits[0], 0);
+    }
+
+    #[test]
+    fn layered_bundle_endpoints_distribute_like_true_walks() {
+        // On a Δ-regular expander, endpoints of length-t walks from a fixed
+        // start should match the exact walk distribution. We test the
+        // *aggregate* endpoint distribution over all starts, which for a
+        // vertex-transitive-ish random regular graph must be near uniform.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 60;
+        let g = generators::random_regular_permutation_graph(n, 8, &mut rng);
+        let t = 16;
+        let mut counts = vec![0f64; n];
+        let reps = 40;
+        for _ in 0..reps {
+            let bundle = layered_walk_bundle(&g, t, 2, &mut rng);
+            for &target in &bundle.targets {
+                counts[target] += 1.0;
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        let empirical: Vec<f64> = counts.iter().map(|c| c / total).collect();
+        let uniform = vec![1.0 / n as f64; n];
+        let tvd = total_variation_distance(&empirical, &uniform);
+        assert!(tvd < 0.15, "endpoint distribution far from uniform: tvd = {tvd}");
+    }
+
+    #[test]
+    fn layered_bundle_certifies_many_independent_walks_on_regular_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_regular_permutation_graph(80, 8, &mut rng);
+        let bundle = layered_walk_bundle(&g, 8, 2, &mut rng);
+        let independent = bundle.independent.iter().filter(|&&b| b).count();
+        // Lemma 5.3: each walk is independent with probability >= 1/2; demand
+        // a conservative third to keep the test robust.
+        assert!(
+            independent * 3 >= g.num_vertices(),
+            "only {independent}/{} walks certified independent",
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn hub_graphs_yield_fewer_independent_walks_than_regular_graphs() {
+        // The motivation for regularization (Section 3): on a star, walks all
+        // collide in the centre.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let star = generators::star(81);
+        let regular = generators::random_regular_permutation_graph(81, 8, &mut rng);
+        let b_star = layered_walk_bundle(&star, 8, 2, &mut rng);
+        let b_reg = layered_walk_bundle(&regular, 8, 2, &mut rng);
+        let ind_star = b_star.independent.iter().filter(|&&b| b).count();
+        let ind_reg = b_reg.independent.iter().filter(|&&b| b).count();
+        assert!(
+            ind_reg > 2 * ind_star,
+            "regular graph should certify far more independent walks ({ind_reg} vs {ind_star})"
+        );
+    }
+
+    #[test]
+    fn independent_lazy_walks_rejects_irregular_graphs() {
+        let g = generators::star(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ctx = ctx_for(100);
+        assert!(matches!(
+            independent_lazy_walks(&g, 4, 2, WalkMode::Direct, 2, &mut ctx, &mut rng),
+            Err(CoreError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn lazy_walk_endpoints_match_exact_lazy_distribution() {
+        // Empirical endpoint distribution of many direct lazy walks from one
+        // vertex vs the exact lazy-walk distribution.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = generators::cycle(12);
+        let t = 10;
+        let lazy = g.with_self_loops(2);
+        let exact = lazy_walk_distribution(&g, 0, t);
+        let mut counts = vec![0f64; 12];
+        let reps = 20_000;
+        for _ in 0..reps {
+            counts[direct_walk_endpoint(&lazy, 0, t, &mut rng)] += 1.0;
+        }
+        let empirical: Vec<f64> = counts.iter().map(|c| c / reps as f64).collect();
+        let tvd = total_variation_distance(&empirical, &exact);
+        assert!(tvd < 0.03, "tvd between empirical and exact lazy walk: {tvd}");
+    }
+
+    #[test]
+    fn randomize_connects_each_expander_component_and_never_merges_components() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = generators::planted_expander_components(&[50, 70], 8, &mut rng);
+        let truth = connected_components(&g);
+        let mut ctx = ctx_for(4 * g.num_edges());
+        // The planted components are 8-regular expanders; walk long enough to mix.
+        let h = randomize(&g, 48, 12, WalkMode::Direct, 2, &mut ctx, &mut rng).unwrap();
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        let h_cc = connected_components(&h);
+        assert!(h_cc.same_partition(&truth), "randomized graph changed the components");
+        assert!(ctx.stats().rounds_in_phase("randomize") >= 1);
+    }
+
+    #[test]
+    fn randomize_in_faithful_mode_matches_components_too() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = generators::random_regular_permutation_graph(40, 6, &mut rng);
+        let truth = connected_components(&g);
+        let mut ctx = ctx_for(4 * g.num_edges());
+        let h = randomize(&g, 16, 8, WalkMode::Faithful, 2, &mut ctx, &mut rng).unwrap();
+        assert!(connected_components(&h).same_partition(&truth));
+    }
+
+    #[test]
+    fn walk_round_charge_is_logarithmic_in_t() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = generators::random_regular_permutation_graph(50, 6, &mut rng);
+        let mut ctx_short = ctx_for(4 * g.num_edges());
+        let mut ctx_long = ctx_for(4 * g.num_edges());
+        independent_lazy_walks(&g, 4, 1, WalkMode::Direct, 2, &mut ctx_short, &mut rng).unwrap();
+        independent_lazy_walks(&g, 256, 1, WalkMode::Direct, 2, &mut ctx_long, &mut rng).unwrap();
+        let (a, b) = (
+            ctx_short.stats().total_rounds(),
+            ctx_long.stats().total_rounds(),
+        );
+        // 64x longer walks cost only ~log-many extra rounds.
+        assert!(b > a);
+        assert!(b <= a + 14, "rounds went from {a} to {b}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain-text edge-list serialization.
+//!
+//! A tiny, dependency-free interchange format so real graphs (SNAP-style
+//! edge lists, exports from other tools) can be fed to the algorithms and so
+//! experiment inputs can be checked into a repository:
+//!
+//! * one edge per line: two whitespace-separated vertex ids;
+//! * lines starting with `#` or `%` are comments;
+//! * vertex ids need not be contiguous — they are remapped to `0..n` on load
+//!   (the mapping is returned).
+
+use std::io::{BufRead, BufWriter, Write};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Errors returned by the edge-list reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor two integers.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "could not parse edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// The result of loading an edge list: the graph plus the mapping from new
+/// vertex ids (`0..n`) back to the ids that appeared in the file.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The loaded graph on contiguous vertex ids.
+    pub graph: Graph,
+    /// `original_ids[v]` is the id vertex `v` had in the input.
+    pub original_ids: Vec<u64>,
+}
+
+/// Reads an edge list from any [`BufRead`] source.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on a malformed line and [`IoError::Io`] on read
+/// failures.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
+    let mut id_map: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(a), Some(b)) => {
+                let mut intern = |raw: u64| -> usize {
+                    *id_map.entry(raw).or_insert_with(|| {
+                        original_ids.push(raw);
+                        original_ids.len() - 1
+                    })
+                };
+                let u = intern(a);
+                let v = intern(b);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(original_ids.len(), edges.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v).expect("interned ids are in range");
+    }
+    Ok(LoadedGraph {
+        graph: builder.build(),
+        original_ids,
+    })
+}
+
+/// Reads an edge list from a file path.
+///
+/// # Errors
+///
+/// See [`read_edge_list`].
+pub fn read_edge_list_file(path: &std::path::Path) -> Result<LoadedGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Writes a graph as an edge list (one `u v` pair per line, with a comment
+/// header).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(
+        out,
+        "# undirected multigraph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    for (u, v) in g.edge_iter() {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = generators::ring_of_cliques(4, 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        assert_eq!(
+            connected_components(&loaded.graph).num_components(),
+            connected_components(&g).num_components()
+        );
+    }
+
+    #[test]
+    fn comments_blank_lines_and_sparse_ids_are_handled() {
+        let text = "# a comment\n\n% another comment\n10 20\n20 30\n  40\t10 \n";
+        let loaded = read_edge_list(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 4);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.original_ids, vec![10, 20, 30, 40]);
+        assert_eq!(connected_components(&loaded.graph).num_components(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let text = "1 2\nnot an edge\n";
+        let err = read_edge_list(std::io::Cursor::new(text)).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_survive_round_trip() {
+        let g = crate::graph::Graph::from_edges_unchecked(3, vec![(0, 0), (0, 1), (0, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert!(loaded.graph.has_self_loops());
+    }
+}

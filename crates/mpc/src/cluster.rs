@@ -1,0 +1,415 @@
+//! The execution layer: simulated machines holding tuples, with
+//! map / shuffle / broadcast supersteps that enforce the memory budget.
+//!
+//! The [`Cluster`] is deliberately simple — a vector of machines, each a
+//! vector of tuples — because its job is not performance but *fidelity*: a
+//! shuffle really re-partitions tuples by key, really costs one round, and
+//! really fails (or records a violation) when some machine would exceed its
+//! memory budget. The baselines run end-to-end on this layer, and the unit
+//! tests of the primitives in [`crate::primitives`] validate the round
+//! accounting the higher-level algorithms charge through
+//! [`MpcContext`](crate::MpcContext).
+
+use crate::config::{MpcConfig, MpcError};
+use crate::stats::MpcContext;
+
+/// Tuples that carry an intrinsic shuffle key.
+///
+/// Implemented for `(u64, V)` pairs, the workhorse format of every algorithm
+/// in this workspace (key = the vertex or component the tuple is routed to).
+pub trait KeyedTuple {
+    /// The key the tuple is routed by during a shuffle.
+    fn key(&self) -> u64;
+}
+
+impl<V> KeyedTuple for (u64, V) {
+    fn key(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A set of tuples partitioned across simulated machines.
+#[derive(Debug, Clone)]
+pub struct Cluster<T> {
+    machines: Vec<Vec<T>>,
+    /// Words per tuple used for memory accounting (default 2: a key and a
+    /// value word).
+    words_per_tuple: usize,
+}
+
+impl<T> Cluster<T> {
+    /// Distributes `tuples` round-robin across `config.num_machines` machines
+    /// (the paper assumes the input is distributed adversarially but evenly;
+    /// round-robin is the even distribution with no helpful locality).
+    pub fn from_tuples(config: &MpcConfig, tuples: Vec<T>) -> Self {
+        let m = config.num_machines.max(1);
+        let mut machines: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
+        for (i, t) in tuples.into_iter().enumerate() {
+            machines[i % m].push(t);
+        }
+        Cluster {
+            machines,
+            words_per_tuple: 2,
+        }
+    }
+
+    /// Overrides the number of words each tuple is charged for.
+    pub fn with_words_per_tuple(mut self, words: usize) -> Self {
+        self.words_per_tuple = words.max(1);
+        self
+    }
+
+    /// Builds a cluster directly from explicit per-machine partitions.
+    /// Used by the primitives in [`crate::primitives`]; not itself an MPC
+    /// operation (no rounds are charged).
+    pub fn from_partitions(machines: Vec<Vec<T>>) -> Self {
+        Cluster {
+            machines,
+            words_per_tuple: 2,
+        }
+    }
+
+    /// Number of simulated machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total number of tuples across all machines.
+    pub fn len(&self) -> usize {
+        self.machines.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the cluster holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.machines.iter().all(Vec::is_empty)
+    }
+
+    /// The tuples currently resident on machine `i`.
+    pub fn machine(&self, i: usize) -> &[T] {
+        &self.machines[i]
+    }
+
+    /// The largest per-machine load, in words.
+    pub fn max_load_words(&self) -> usize {
+        self.machines
+            .iter()
+            .map(|m| m.len() * self.words_per_tuple)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Collects all tuples into one vector (an *inspection* helper for tests
+    /// and drivers — not an MPC operation, hence no context argument).
+    pub fn gather(self) -> Vec<T> {
+        self.machines.into_iter().flatten().collect()
+    }
+
+    /// Applies `f` to every tuple locally. Local computation is free in the
+    /// MPC model, so no rounds are charged.
+    pub fn map_local<U>(&self, mut f: impl FnMut(&T) -> U) -> Cluster<U> {
+        Cluster {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| m.iter().map(&mut f).collect())
+                .collect(),
+            words_per_tuple: self.words_per_tuple,
+        }
+    }
+
+    /// Applies `f` to every tuple locally, producing zero or more outputs per
+    /// input. Free, like [`Cluster::map_local`].
+    pub fn flat_map_local<U, I>(&self, mut f: impl FnMut(&T) -> I) -> Cluster<U>
+    where
+        I: IntoIterator<Item = U>,
+    {
+        Cluster {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| m.iter().flat_map(&mut f).collect())
+                .collect(),
+            words_per_tuple: self.words_per_tuple,
+        }
+    }
+
+    /// Drops tuples not satisfying `keep`. Free (local).
+    pub fn filter_local(&self, mut keep: impl FnMut(&T) -> bool) -> Cluster<T>
+    where
+        T: Clone,
+    {
+        Cluster {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| m.iter().filter(|t| keep(t)).cloned().collect())
+                .collect(),
+            words_per_tuple: self.words_per_tuple,
+        }
+    }
+}
+
+impl<T: Clone> Cluster<T> {
+    /// One communication superstep: re-partitions every tuple to machine
+    /// `hash(key) % num_machines`, so that all tuples sharing a key land on
+    /// the same machine. Charges exactly one round and `len()` tuples of
+    /// traffic, and enforces the per-machine memory budget on the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if any destination
+    /// machine would exceed its budget.
+    pub fn shuffle_by_key(
+        &self,
+        ctx: &mut MpcContext,
+        mut key: impl FnMut(&T) -> u64,
+    ) -> Result<Cluster<T>, MpcError> {
+        let m = self.machines.len().max(1);
+        let mut out: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
+        for machine in &self.machines {
+            for t in machine {
+                let dest = (splitmix64(key(t)) % m as u64) as usize;
+                out[dest].push(t.clone());
+            }
+        }
+        ctx.charge_shuffle(self.len() * self.words_per_tuple);
+        let result = Cluster {
+            machines: out,
+            words_per_tuple: self.words_per_tuple,
+        };
+        for (i, machine) in result.machines.iter().enumerate() {
+            ctx.record_machine_load(i, machine.len() * self.words_per_tuple)?;
+        }
+        Ok(result)
+    }
+
+    /// Shuffle followed by a per-key reduction: tuples with equal keys are
+    /// folded with `fold` starting from `init(key)`, and partial accumulators
+    /// from different machines are merged with `combine`.
+    ///
+    /// To stay within machine memory even when one key is very frequent, a
+    /// *combiner* pass pre-aggregates locally before the shuffle (the
+    /// standard MapReduce optimisation); the shuffle therefore moves at most
+    /// one partial accumulator per (machine, key) pair. Charges one round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if a destination
+    /// machine would exceed its budget.
+    pub fn reduce_by_key<A: Clone>(
+        &self,
+        ctx: &mut MpcContext,
+        mut key: impl FnMut(&T) -> u64,
+        mut init: impl FnMut(u64) -> A,
+        mut fold: impl FnMut(&mut A, &T),
+        mut combine: impl FnMut(&mut A, A),
+    ) -> Result<Vec<(u64, A)>, MpcError> {
+        use std::collections::HashMap;
+        // Local combiner pass (free: purely local computation).
+        let mut combined: Vec<Vec<(u64, A)>> = Vec::with_capacity(self.machines.len());
+        for machine in &self.machines {
+            let mut local: HashMap<u64, A> = HashMap::new();
+            for t in machine {
+                let k = key(t);
+                let acc = local.entry(k).or_insert_with(|| init(k));
+                fold(acc, t);
+            }
+            combined.push(local.into_iter().collect());
+        }
+        let total: usize = combined.iter().map(Vec::len).sum();
+        ctx.charge_shuffle(total * self.words_per_tuple);
+        // Route each partial to hash(key) % m and merge there.
+        let m = self.machines.len().max(1);
+        let mut partials: Vec<Vec<(u64, A)>> = (0..m).map(|_| Vec::new()).collect();
+        for machine in combined {
+            for (k, a) in machine {
+                let dest = (splitmix64(k) % m as u64) as usize;
+                partials[dest].push((k, a));
+            }
+        }
+        for (i, bucket) in partials.iter().enumerate() {
+            ctx.record_machine_load(i, bucket.len() * self.words_per_tuple)?;
+        }
+        let mut out = Vec::new();
+        for bucket in partials {
+            let mut merged: HashMap<u64, A> = HashMap::new();
+            for (k, a) in bucket {
+                match merged.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => combine(e.get_mut(), a),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(a);
+                    }
+                }
+            }
+            out.extend(merged);
+        }
+        Ok(out)
+    }
+
+    /// Broadcasts a small value to every machine. Charges one round and
+    /// `machines × words` traffic; errors if the broadcast value alone
+    /// exceeds the per-machine budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] if `words` exceeds the budget.
+    pub fn broadcast_check(
+        &self,
+        ctx: &mut MpcContext,
+        words: usize,
+    ) -> Result<(), MpcError> {
+        ctx.charge_shuffle(words * self.num_machines());
+        ctx.record_machine_load(0, words)
+    }
+}
+
+/// A cheap 64-bit mixer (SplitMix64 finaliser) used to map keys to machines.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    fn small_config() -> MpcConfig {
+        MpcConfig {
+            memory_per_machine: 64,
+            num_machines: 8,
+            delta: 0.5,
+            strict_memory: true,
+        }
+    }
+
+    #[test]
+    fn tuples_distribute_evenly() {
+        let cfg = small_config();
+        let cluster = Cluster::from_tuples(&cfg, (0u64..80).map(|i| (i, i)).collect());
+        assert_eq!(cluster.num_machines(), 8);
+        assert_eq!(cluster.len(), 80);
+        for i in 0..8 {
+            assert_eq!(cluster.machine(i).len(), 10);
+        }
+        assert_eq!(cluster.max_load_words(), 20);
+    }
+
+    #[test]
+    fn shuffle_colocates_equal_keys_and_charges_one_round() {
+        let cfg = small_config();
+        let mut ctx = MpcContext::new(cfg);
+        let tuples: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, i)).collect();
+        let cluster = Cluster::from_tuples(&cfg, tuples);
+        let shuffled = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap();
+        assert_eq!(ctx.stats().total_rounds(), 1);
+        assert_eq!(shuffled.len(), 100);
+        // Each key must live on exactly one machine.
+        for key in 0..10u64 {
+            let machines_with_key: usize = (0..shuffled.num_machines())
+                .filter(|&m| shuffled.machine(m).iter().any(|t| t.0 == key))
+                .count();
+            assert_eq!(machines_with_key, 1, "key {key} split across machines");
+        }
+    }
+
+    #[test]
+    fn shuffle_detects_memory_overflow_on_skewed_keys() {
+        // All tuples share one key, so one machine must hold everything.
+        let cfg = MpcConfig {
+            memory_per_machine: 32,
+            num_machines: 4,
+            delta: 0.5,
+            strict_memory: true,
+        };
+        let mut ctx = MpcContext::new(cfg);
+        let tuples: Vec<(u64, u64)> = (0..100).map(|i| (7, i)).collect();
+        let cluster = Cluster::from_tuples(&cfg, tuples);
+        let err = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { .. }));
+        // Permissive mode records the violation instead.
+        let loose = cfg.permissive();
+        let mut ctx2 = MpcContext::new(loose);
+        let cluster2 = Cluster::from_tuples(&loose, (0..100u64).map(|i| (7u64, i)).collect());
+        assert!(cluster2.shuffle_by_key(&mut ctx2, |t| t.0).is_ok());
+        assert!(ctx2.stats().memory_violations() > 0);
+    }
+
+    #[test]
+    fn map_and_filter_are_free() {
+        let cfg = small_config();
+        let ctx = MpcContext::new(cfg);
+        let cluster = Cluster::from_tuples(&cfg, (0u64..50).map(|i| (i, i)).collect());
+        let doubled = cluster.map_local(|t| (t.0, t.1 * 2));
+        let even = doubled.filter_local(|t| t.1 % 4 == 0);
+        assert_eq!(ctx.stats().total_rounds(), 0);
+        assert_eq!(doubled.len(), 50);
+        assert_eq!(even.len(), 25);
+    }
+
+    #[test]
+    fn flat_map_can_expand_tuples() {
+        let cfg = small_config();
+        let cluster = Cluster::from_tuples(&cfg, vec![(1u64, 1u64), (2, 2)]);
+        let expanded = cluster.flat_map_local(|t| vec![(t.0, t.1), (t.0, t.1 + 10)]);
+        assert_eq!(expanded.len(), 4);
+    }
+
+    #[test]
+    fn reduce_by_key_counts_correctly() {
+        let cfg = small_config();
+        let mut ctx = MpcContext::new(cfg);
+        let tuples: Vec<(u64, u64)> = (0..90).map(|i| (i % 3, 1)).collect();
+        let cluster = Cluster::from_tuples(&cfg, tuples);
+        let mut counts = cluster
+            .reduce_by_key(&mut ctx, |t| t.0, |_| 0u64, |acc, t| *acc += t.1, |acc, b| *acc += b)
+            .unwrap();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![(0, 30), (1, 30), (2, 30)]);
+        assert_eq!(ctx.stats().total_rounds(), 1);
+    }
+
+    #[test]
+    fn reduce_by_key_with_skew_stays_within_budget_via_combiners() {
+        // 1000 tuples all with the same key but spread over machines: the
+        // combiner collapses them to one partial per machine, so no overflow.
+        let cfg = MpcConfig {
+            memory_per_machine: 64,
+            num_machines: 16,
+            delta: 0.5,
+            strict_memory: true,
+        };
+        let mut ctx = MpcContext::new(cfg);
+        let cluster = Cluster::from_tuples(&cfg, (0..1000u64).map(|_| (5u64, 1u64)).collect());
+        let counts = cluster
+            .reduce_by_key(&mut ctx, |t| t.0, |_| 0u64, |acc, t| *acc += t.1, |acc, b| *acc += b)
+            .unwrap();
+        assert_eq!(counts, vec![(5, 1000)]);
+    }
+
+    #[test]
+    fn broadcast_too_large_fails() {
+        let cfg = small_config();
+        let mut ctx = MpcContext::new(cfg);
+        let cluster = Cluster::from_tuples(&cfg, vec![(0u64, 0u64)]);
+        assert!(cluster.broadcast_check(&mut ctx, 10).is_ok());
+        assert!(cluster.broadcast_check(&mut ctx, 1000).is_err());
+    }
+
+    #[test]
+    fn keyed_tuple_trait_for_pairs() {
+        let t = (42u64, "payload");
+        assert_eq!(t.key(), 42);
+    }
+
+    #[test]
+    fn gather_returns_everything() {
+        let cfg = small_config();
+        let cluster = Cluster::from_tuples(&cfg, (0u64..33).map(|i| (i, ())).collect());
+        let mut all: Vec<u64> = cluster.gather().into_iter().map(|t| t.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..33u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,204 @@
+//! MPC model configuration: memory per machine, machine count, `δ`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by the MPC simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpcError {
+    /// A machine would have to hold more words than its memory budget allows.
+    MemoryExceeded {
+        /// The machine that overflowed.
+        machine: usize,
+        /// Number of words it would have to hold.
+        required: usize,
+        /// The per-machine budget.
+        budget: usize,
+    },
+    /// The configuration itself is infeasible (e.g. total memory smaller than
+    /// the input).
+    InfeasibleConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::MemoryExceeded {
+                machine,
+                required,
+                budget,
+            } => write!(
+                f,
+                "machine {machine} needs {required} words but the per-machine budget is {budget}"
+            ),
+            MpcError::InfeasibleConfig { reason } => {
+                write!(f, "infeasible MPC configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+/// Configuration of the simulated MPC cluster.
+///
+/// `memory_per_machine` is measured in *words* (one word holds one vertex id,
+/// one edge endpoint, one counter, …), matching how the paper counts memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Per-machine memory budget `s`, in words.
+    pub memory_per_machine: usize,
+    /// Number of machines available.
+    pub num_machines: usize,
+    /// The exponent `δ` such that `s ≈ N^δ` (informational; round accounting
+    /// for sort/search uses `memory_per_machine` directly).
+    pub delta: f64,
+    /// When `true`, exceeding a machine's budget is a hard error
+    /// ([`MpcError::MemoryExceeded`]); when `false` it is recorded in the
+    /// statistics as a violation but execution continues. Experiments that
+    /// sweep undersized memory budgets use the permissive mode.
+    pub strict_memory: bool,
+}
+
+impl MpcConfig {
+    /// Configuration with per-machine memory `s ≈ N^δ` (at least 16 words)
+    /// and enough machines to hold `slack × N` words in total.
+    ///
+    /// The paper allows `polylog(n)` slack factors in both memory and machine
+    /// count (Theorem 1); the default slack here is 4× the minimum machine
+    /// count, recorded in [`RoundStats`](crate::RoundStats) so experiments can
+    /// report total memory honestly.
+    pub fn for_input_size(input_words: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        let n = input_words.max(2) as f64;
+        let s = n.powf(delta).ceil() as usize;
+        let s = s.max(16);
+        let min_machines = input_words.div_ceil(s).max(1);
+        MpcConfig {
+            memory_per_machine: s,
+            num_machines: 4 * min_machines,
+            delta,
+            strict_memory: true,
+        }
+    }
+
+    /// Configuration with an explicit per-machine memory budget.
+    pub fn with_memory(input_words: usize, memory_per_machine: usize) -> Self {
+        let s = memory_per_machine.max(2);
+        let n = input_words.max(2) as f64;
+        MpcConfig {
+            memory_per_machine: s,
+            num_machines: 4 * input_words.div_ceil(s).max(1),
+            delta: (s as f64).ln() / n.ln(),
+            strict_memory: true,
+        }
+    }
+
+    /// Returns a copy with memory violations downgraded to recorded warnings.
+    pub fn permissive(mut self) -> Self {
+        self.strict_memory = false;
+        self
+    }
+
+    /// Returns a copy with the given number of machines.
+    pub fn with_machines(mut self, num_machines: usize) -> Self {
+        self.num_machines = num_machines.max(1);
+        self
+    }
+
+    /// Total memory across the cluster, in words.
+    pub fn total_memory(&self) -> usize {
+        self.memory_per_machine * self.num_machines
+    }
+
+    /// Number of rounds charged for a Goodrich sort or search over `n` items:
+    /// `⌈log_s n⌉`, and at least 1 (Section 2, "Sort and search in the MPC
+    /// model").
+    pub fn sort_rounds(&self, n_items: usize) -> u64 {
+        if n_items <= 1 {
+            return 1;
+        }
+        let s = self.memory_per_machine.max(2) as f64;
+        ((n_items as f64).ln() / s.ln()).ceil().max(1.0) as u64
+    }
+
+    /// Checks that the configuration can hold `input_words` of input at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InfeasibleConfig`] if total memory is smaller than
+    /// the input.
+    pub fn check_feasible(&self, input_words: usize) -> Result<(), MpcError> {
+        if self.total_memory() < input_words {
+            return Err(MpcError::InfeasibleConfig {
+                reason: format!(
+                    "total memory {} words cannot hold input of {} words",
+                    self.total_memory(),
+                    input_words
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for MpcConfig {
+    /// A laptop-scale default: memory for `N = 2^20` words at `δ = 0.5`.
+    fn default() -> Self {
+        MpcConfig::for_input_size(1 << 20, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_input_size_sets_power_law_memory() {
+        let c = MpcConfig::for_input_size(1_000_000, 0.5);
+        assert!(c.memory_per_machine >= 1000 && c.memory_per_machine <= 1100);
+        assert!(c.total_memory() >= 1_000_000);
+        assert!(c.check_feasible(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn sort_rounds_is_log_base_s() {
+        let c = MpcConfig::with_memory(1 << 20, 1 << 10);
+        assert_eq!(c.sort_rounds(1 << 20), 2);
+        assert_eq!(c.sort_rounds(1 << 10), 1);
+        assert_eq!(c.sort_rounds(1), 1);
+        let tiny = MpcConfig::with_memory(1 << 20, 4);
+        assert!(tiny.sort_rounds(1 << 20) >= 10);
+    }
+
+    #[test]
+    fn infeasible_config_detected() {
+        let c = MpcConfig {
+            memory_per_machine: 10,
+            num_machines: 2,
+            delta: 0.5,
+            strict_memory: true,
+        };
+        assert!(matches!(
+            c.check_feasible(100),
+            Err(MpcError::InfeasibleConfig { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in (0, 1)")]
+    fn delta_out_of_range_panics() {
+        let _ = MpcConfig::for_input_size(100, 1.5);
+    }
+
+    #[test]
+    fn permissive_and_with_machines_builders() {
+        let c = MpcConfig::for_input_size(1000, 0.5).permissive().with_machines(7);
+        assert!(!c.strict_memory);
+        assert_eq!(c.num_machines, 7);
+    }
+}

@@ -1,0 +1,61 @@
+//! A simulator for the Massively Parallel Computation (MPC) model of
+//! Beame–Koutris–Suciu / Karloff–Suri–Vassilvitskii, as used by
+//! Assadi–Sun–Weinstein (PODC 2019).
+//!
+//! The MPC model the paper adopts (Section 1, "Massively Parallel Computation
+//! Model") has three resources:
+//!
+//! * **memory per machine** `s` — for the sparse connectivity problem the
+//!   interesting regime is `s = n^δ` for a constant `δ > 0`;
+//! * **number of machines**, with total memory ideally `Õ(N)`;
+//! * **rounds**: per round each machine computes locally on the tuples it
+//!   holds, then machines exchange messages, each machine sending and
+//!   receiving at most `s` words.
+//!
+//! This crate simulates that model inside a single process so the resources
+//! can be *measured exactly*:
+//!
+//! * [`MpcConfig`] fixes `s`, the machine count and `δ`.
+//! * [`MpcContext`] is the accounting layer — algorithms charge rounds,
+//!   shuffled words and per-machine residency against it, phase by phase, at
+//!   exactly the costs the paper assigns to each primitive (a shuffle is one
+//!   round; a Goodrich sort/search over `N` items is `O(log_s N)` rounds; a
+//!   pointer-doubling step is one sort/search batch, …).
+//! * [`Cluster`] is the execution layer — an actual tuple store partitioned
+//!   across simulated machines with `map`/`shuffle`/`broadcast` supersteps
+//!   that *enforce* the memory budget, used to validate the primitives and to
+//!   run the baselines end-to-end.
+//!
+//! Wall-clock time plays no role: the reproduced quantities are rounds and
+//! memory, which is what the paper's theorems bound.
+//!
+//! ```
+//! use wcc_mpc::prelude::*;
+//!
+//! // 10_000 words of input, memory per machine ~ N^0.5.
+//! let config = MpcConfig::for_input_size(10_000, 0.5);
+//! let mut ctx = MpcContext::new(config);
+//! ctx.begin_phase("sort");
+//! ctx.charge_sort(10_000);
+//! ctx.end_phase();
+//! assert!(ctx.stats().total_rounds() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod primitives;
+pub mod stats;
+
+pub use crate::cluster::{Cluster, KeyedTuple};
+pub use crate::config::{MpcConfig, MpcError};
+pub use crate::stats::{MpcContext, PhaseStats, RoundStats};
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::cluster::{Cluster, KeyedTuple};
+    pub use crate::config::{MpcConfig, MpcError};
+    pub use crate::stats::{MpcContext, PhaseStats, RoundStats};
+}

@@ -1,0 +1,213 @@
+//! The standard MPC primitives of Goodrich–Sitchinava–Zhang that the paper
+//! relies on (Section 2, "Sort and search in the MPC model"): parallel sort
+//! and parallel search in `O(log_s N)` rounds, plus the small helpers built
+//! on them (deduplication, counting by key).
+//!
+//! These run on the [`Cluster`](crate::Cluster) execution layer and charge
+//! their documented round cost against an [`MpcContext`](crate::MpcContext);
+//! higher-level algorithms that do not need a faithful execution can charge
+//! the same costs directly via [`MpcContext::charge_sort`] and
+//! [`MpcContext::charge_search`].
+
+use crate::cluster::Cluster;
+use crate::config::MpcError;
+use crate::stats::MpcContext;
+
+/// Sorts all tuples of the cluster globally: after the call, machine `i`
+/// holds a contiguous run of the sorted order and runs are ordered by
+/// machine index.
+///
+/// Charges `⌈log_s N⌉` rounds (the cost of the Goodrich sample-sort the
+/// paper cites) and verifies that the balanced output respects the memory
+/// budget.
+///
+/// # Errors
+///
+/// Returns [`MpcError::MemoryExceeded`] if an output machine would exceed its
+/// memory budget.
+pub fn distributed_sort<T, K, F>(
+    cluster: &Cluster<T>,
+    ctx: &mut MpcContext,
+    mut sort_key: F,
+) -> Result<Cluster<T>, MpcError>
+where
+    T: Clone,
+    K: Ord,
+    F: FnMut(&T) -> K,
+{
+    let n = cluster.len();
+    ctx.charge_sort(n);
+    let mut all: Vec<T> = Vec::with_capacity(n);
+    for m in 0..cluster.num_machines() {
+        all.extend_from_slice(cluster.machine(m));
+    }
+    all.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    // Redistribute contiguous runs.
+    let machines = cluster.num_machines().max(1);
+    let chunk = n.div_ceil(machines).max(1);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(machines);
+    let mut iter = all.into_iter();
+    for i in 0..machines {
+        let part: Vec<T> = iter.by_ref().take(chunk).collect();
+        ctx.record_machine_load(i, 2 * part.len())?;
+        out.push(part);
+    }
+    Ok(Cluster::from_partitions(out))
+}
+
+/// Parallel search (Goodrich): annotates every query key with the value
+/// stored for it in `data`, or `None` if the key is absent.
+///
+/// Charges `⌈log_s(|data| + |queries|)⌉` rounds.
+pub fn distributed_search<K, V>(
+    data: &[(K, V)],
+    queries: &[K],
+    ctx: &mut MpcContext,
+) -> Vec<Option<V>>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    ctx.charge_search(data.len(), queries.len());
+    let mut sorted: Vec<(K, V)> = data.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    queries
+        .iter()
+        .map(|q| {
+            sorted
+                .binary_search_by(|probe| probe.0.cmp(q))
+                .ok()
+                .map(|i| sorted[i].1.clone())
+        })
+        .collect()
+}
+
+/// Removes duplicate tuples (by a key projection) across the whole cluster.
+/// Implemented as a sort followed by a local adjacent-deduplication, so it
+/// charges one sort.
+///
+/// # Errors
+///
+/// Returns [`MpcError::MemoryExceeded`] if the sorted intermediate would
+/// exceed a machine's budget.
+pub fn distributed_dedup<T, K, F>(
+    cluster: &Cluster<T>,
+    ctx: &mut MpcContext,
+    mut dedup_key: F,
+) -> Result<Cluster<T>, MpcError>
+where
+    T: Clone,
+    K: Ord + Clone,
+    F: FnMut(&T) -> K,
+{
+    let sorted = distributed_sort(cluster, ctx, &mut dedup_key)?;
+    // Local dedup on each machine plus dropping a leading duplicate that
+    // continues the previous machine's run (purely local + one exchanged
+    // boundary tuple, which we fold into the sort's charge).
+    let machines = sorted.num_machines();
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(machines);
+    let mut last_key: Option<K> = None;
+    for i in 0..machines {
+        let mut kept = Vec::new();
+        for t in sorted.machine(i) {
+            let k = dedup_key(t);
+            if last_key.as_ref() != Some(&k) {
+                kept.push(t.clone());
+                last_key = Some(k);
+            }
+        }
+        out.push(kept);
+    }
+    Ok(Cluster::from_partitions(out))
+}
+
+/// Counts tuples per key across the cluster. One round (combiner-based
+/// aggregation).
+///
+/// # Errors
+///
+/// Returns [`MpcError::MemoryExceeded`] if the per-machine partial counts
+/// exceed a machine's budget.
+pub fn count_by_key<T, F>(
+    cluster: &Cluster<T>,
+    ctx: &mut MpcContext,
+    key: F,
+) -> Result<Vec<(u64, u64)>, MpcError>
+where
+    T: Clone,
+    F: FnMut(&T) -> u64,
+{
+    cluster.reduce_by_key(ctx, key, |_| 0u64, |acc, _| *acc += 1, |acc, b| *acc += b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    fn cfg(s: usize, machines: usize) -> MpcConfig {
+        MpcConfig {
+            memory_per_machine: s,
+            num_machines: machines,
+            delta: 0.5,
+            strict_memory: true,
+        }
+    }
+
+    #[test]
+    fn sort_produces_global_order_and_charges_log_s_rounds() {
+        let config = cfg(64, 8);
+        let mut ctx = MpcContext::new(config);
+        let tuples: Vec<(u64, u64)> = (0..128).map(|i| ((997 * i) % 128, i)).collect();
+        let cluster = Cluster::from_tuples(&config, tuples);
+        let sorted = distributed_sort(&cluster, &mut ctx, |t| t.0).unwrap();
+        let keys: Vec<u64> = sorted.clone().gather().iter().map(|t| t.0).collect();
+        // gather() concatenates machines in order, so the keys must already be sorted.
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(keys, expected);
+        assert_eq!(ctx.stats().total_rounds(), config.sort_rounds(128));
+    }
+
+    #[test]
+    fn sort_overflow_is_detected() {
+        // 100 tuples over 2 machines with budget 20 words -> 50 tuples/machine won't fit.
+        let config = cfg(20, 2);
+        let mut ctx = MpcContext::new(config);
+        let cluster = Cluster::from_tuples(&config, (0u64..100).map(|i| (i, i)).collect());
+        assert!(distributed_sort(&cluster, &mut ctx, |t| t.0).is_err());
+    }
+
+    #[test]
+    fn search_annotates_queries() {
+        let config = cfg(256, 4);
+        let mut ctx = MpcContext::new(config);
+        let data: Vec<(u64, &str)> = vec![(1, "a"), (5, "b"), (9, "c")];
+        let queries = vec![5u64, 2, 9];
+        let out = distributed_search(&data, &queries, &mut ctx);
+        assert_eq!(out, vec![Some("b"), None, Some("c")]);
+        assert!(ctx.stats().total_rounds() >= 1);
+    }
+
+    #[test]
+    fn dedup_removes_cross_machine_duplicates() {
+        let config = cfg(256, 4);
+        let mut ctx = MpcContext::new(config);
+        let tuples: Vec<(u64, u64)> = (0..60).map(|i| (i % 10, 0)).collect();
+        let cluster = Cluster::from_tuples(&config, tuples);
+        let deduped = distributed_dedup(&cluster, &mut ctx, |t| t.0).unwrap();
+        assert_eq!(deduped.len(), 10);
+    }
+
+    #[test]
+    fn count_by_key_matches_manual_count() {
+        let config = cfg(256, 4);
+        let mut ctx = MpcContext::new(config);
+        let tuples: Vec<(u64, u64)> = (0..90).map(|i| (i % 9, i)).collect();
+        let cluster = Cluster::from_tuples(&config, tuples);
+        let mut counts = count_by_key(&cluster, &mut ctx, |t| t.0).unwrap();
+        counts.sort_unstable();
+        assert_eq!(counts.len(), 9);
+        assert!(counts.iter().all(|&(_, c)| c == 10));
+    }
+}

@@ -1,0 +1,280 @@
+//! Round/memory accounting: the quantities the paper's theorems bound.
+
+use crate::config::{MpcConfig, MpcError};
+
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of one named phase of an algorithm (e.g. "regularize",
+/// "random-walks", "grow-components").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name.
+    pub name: String,
+    /// MPC rounds charged during the phase.
+    pub rounds: u64,
+    /// Words of cross-machine communication charged during the phase.
+    pub communication_words: u64,
+}
+
+/// Aggregate resource usage of an algorithm run on the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RoundStats {
+    total_rounds: u64,
+    total_communication_words: u64,
+    max_machine_load_words: usize,
+    memory_violations: u64,
+    phases: Vec<PhaseStats>,
+}
+
+impl RoundStats {
+    /// Total MPC rounds charged.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Total words of cross-machine communication charged.
+    pub fn total_communication_words(&self) -> u64 {
+        self.total_communication_words
+    }
+
+    /// Largest number of words any single machine was asked to hold.
+    pub fn max_machine_load_words(&self) -> usize {
+        self.max_machine_load_words
+    }
+
+    /// Number of times a machine's budget was exceeded (only non-zero in
+    /// permissive mode; strict mode errors out instead).
+    pub fn memory_violations(&self) -> u64 {
+        self.memory_violations
+    }
+
+    /// Per-phase breakdown, in execution order.
+    pub fn phases(&self) -> &[PhaseStats] {
+        &self.phases
+    }
+
+    /// Rounds charged to the phase with the given name (summed over repeats).
+    pub fn rounds_in_phase(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rounds, {} words shuffled, max machine load {} words, {} memory violations",
+            self.total_rounds,
+            self.total_communication_words,
+            self.max_machine_load_words,
+            self.memory_violations
+        )
+    }
+}
+
+/// The accounting context algorithms charge their resource usage against.
+///
+/// Costs follow the paper's implementation paragraphs:
+///
+/// * a shuffle / communication superstep is **1 round**;
+/// * a Goodrich sort or search over `N` items is **`⌈log_s N⌉` rounds**
+///   ([`MpcConfig::sort_rounds`]);
+/// * local computation within a round is free (the MPC model allows unbounded
+///   local computation).
+#[derive(Debug, Clone)]
+pub struct MpcContext {
+    config: MpcConfig,
+    stats: RoundStats,
+    current_phase: Option<PhaseStats>,
+}
+
+impl MpcContext {
+    /// Creates a fresh context for the given cluster configuration.
+    pub fn new(config: MpcConfig) -> Self {
+        MpcContext {
+            config,
+            stats: RoundStats::default(),
+            current_phase: None,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RoundStats {
+        &self.stats
+    }
+
+    /// Consumes the context and returns the accumulated statistics, closing
+    /// any open phase.
+    pub fn into_stats(mut self) -> RoundStats {
+        self.end_phase();
+        self.stats
+    }
+
+    /// Starts a named phase; any previously open phase is closed first.
+    pub fn begin_phase(&mut self, name: &str) {
+        self.end_phase();
+        self.current_phase = Some(PhaseStats {
+            name: name.to_string(),
+            rounds: 0,
+            communication_words: 0,
+        });
+    }
+
+    /// Closes the current phase (no-op if none is open).
+    pub fn end_phase(&mut self) {
+        if let Some(phase) = self.current_phase.take() {
+            self.stats.phases.push(phase);
+        }
+    }
+
+    /// Charges `rounds` MPC rounds and `communication_words` words of
+    /// cross-machine traffic.
+    pub fn charge(&mut self, rounds: u64, communication_words: u64) {
+        self.stats.total_rounds += rounds;
+        self.stats.total_communication_words += communication_words;
+        if let Some(phase) = self.current_phase.as_mut() {
+            phase.rounds += rounds;
+            phase.communication_words += communication_words;
+        }
+    }
+
+    /// Charges a single communication round moving `words` words in total.
+    pub fn charge_shuffle(&mut self, words: usize) {
+        self.charge(1, words as u64);
+    }
+
+    /// Charges a Goodrich parallel sort over `n_items` items:
+    /// `⌈log_s n⌉` rounds, each moving (at most) all items once.
+    pub fn charge_sort(&mut self, n_items: usize) {
+        let rounds = self.config.sort_rounds(n_items);
+        self.charge(rounds, rounds * n_items as u64);
+    }
+
+    /// Charges a Goodrich parallel search annotating `n_queries` queries
+    /// against a set of `n_items` key–value pairs: `⌈log_s(n_items +
+    /// n_queries)⌉` rounds.
+    pub fn charge_search(&mut self, n_items: usize, n_queries: usize) {
+        let total = n_items + n_queries;
+        let rounds = self.config.sort_rounds(total);
+        self.charge(rounds, rounds * total as u64);
+    }
+
+    /// Records that some machine holds `words` words, enforcing the memory
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode returns [`MpcError::MemoryExceeded`] when `words`
+    /// exceeds the per-machine budget; in permissive mode the violation is
+    /// only counted.
+    pub fn record_machine_load(&mut self, machine: usize, words: usize) -> Result<(), MpcError> {
+        self.stats.max_machine_load_words = self.stats.max_machine_load_words.max(words);
+        if words > self.config.memory_per_machine {
+            self.stats.memory_violations += 1;
+            if self.config.strict_memory {
+                return Err(MpcError::MemoryExceeded {
+                    machine,
+                    required: words,
+                    budget: self.config.memory_per_machine,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the load of a *balanced* distribution of `total_words` words
+    /// across all machines (the common case for the algorithms in this
+    /// workspace, which only ever hold evenly hashed tuples).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MpcContext::record_machine_load`].
+    pub fn record_balanced_load(&mut self, total_words: usize) -> Result<(), MpcError> {
+        let per_machine = total_words.div_ceil(self.config.num_machines.max(1));
+        self.record_machine_load(0, per_machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(s: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::with_memory(1 << 16, s))
+    }
+
+    #[test]
+    fn charges_accumulate_globally_and_per_phase() {
+        let mut c = ctx(256);
+        c.begin_phase("a");
+        c.charge_shuffle(100);
+        c.charge_shuffle(50);
+        c.begin_phase("b");
+        c.charge(3, 10);
+        c.end_phase();
+        let stats = c.stats();
+        assert_eq!(stats.total_rounds(), 5);
+        assert_eq!(stats.total_communication_words(), 160);
+        assert_eq!(stats.rounds_in_phase("a"), 2);
+        assert_eq!(stats.rounds_in_phase("b"), 3);
+        assert_eq!(stats.phases().len(), 2);
+    }
+
+    #[test]
+    fn sort_cost_matches_config() {
+        let mut c = ctx(1 << 8);
+        c.charge_sort(1 << 16);
+        assert_eq!(c.stats().total_rounds(), 2);
+        let mut c2 = ctx(16);
+        c2.charge_sort(1 << 16);
+        assert_eq!(c2.stats().total_rounds(), 4);
+    }
+
+    #[test]
+    fn strict_memory_errors_permissive_counts() {
+        let mut strict = ctx(100);
+        assert!(strict.record_machine_load(3, 101).is_err());
+        let mut loose = MpcContext::new(MpcConfig::with_memory(1 << 16, 100).permissive());
+        assert!(loose.record_machine_load(3, 101).is_ok());
+        assert!(loose.record_machine_load(3, 99).is_ok());
+        assert_eq!(loose.stats().memory_violations(), 1);
+        assert_eq!(loose.stats().max_machine_load_words(), 101);
+    }
+
+    #[test]
+    fn into_stats_closes_open_phase() {
+        let mut c = ctx(64);
+        c.begin_phase("open");
+        c.charge(2, 0);
+        let stats = c.into_stats();
+        assert_eq!(stats.phases().len(), 1);
+        assert_eq!(stats.rounds_in_phase("open"), 2);
+    }
+
+    #[test]
+    fn balanced_load_divides_by_machines() {
+        let config = MpcConfig {
+            memory_per_machine: 10,
+            num_machines: 10,
+            delta: 0.5,
+            strict_memory: true,
+        };
+        let mut c = MpcContext::new(config);
+        assert!(c.record_balanced_load(100).is_ok());
+        assert!(c.record_balanced_load(101).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_rounds() {
+        let mut c = ctx(64);
+        c.charge(7, 3);
+        assert!(c.stats().summary().contains("7 rounds"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The Ahn–Guha–McGregor connectivity sketch (Proposition 8.1).
+//!
+//! Every vertex `v` owns the *signed edge-incidence vector* `a_v`, indexed by
+//! ordered vertex pairs: for an edge `{u, v}` with `u < v`, coordinate
+//! `(u, v)` of `a_u` is `+1` and of `a_v` is `−1`; all other coordinates are
+//! zero. The crucial linearity property: for any vertex set `S`, the non-zero
+//! coordinates of `Σ_{v∈S} a_v` are exactly the edges with one endpoint in
+//! `S` — internal edges cancel.
+//!
+//! Each vertex keeps `t = O(log n)` independent [`L0Sampler`]s of `a_v`.
+//! Borůvka then runs entirely in sketch space: in phase `i`, every current
+//! component sums its members' `i`-th samplers, samples one outgoing edge
+//! (if any), and the sampled edges merge components. Using a *fresh* sampler
+//! per phase keeps the samples independent of the merging decisions — the
+//! same "fresh randomness per phase" idea the paper reuses for its
+//! leader-election algorithm in Section 6. After `O(log n)` phases no
+//! component has an outgoing edge and the components are exactly the
+//! connected components of the graph.
+
+use crate::l0::L0Sampler;
+
+use serde::{Deserialize, Serialize};
+use wcc_graph::{ComponentLabels, UnionFind};
+
+/// The per-vertex message of Proposition 8.1: `num_phases` independent
+/// ℓ0-samplers of the vertex's signed edge-incidence vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexSketch {
+    samplers: Vec<L0Sampler>,
+}
+
+impl VertexSketch {
+    fn new(num_phases: usize, base_seed: u64) -> Self {
+        VertexSketch {
+            samplers: (0..num_phases)
+                .map(|p| L0Sampler::new(base_seed.wrapping_add(0x9E37_79B9 * (p as u64 + 1))))
+                .collect(),
+        }
+    }
+
+    fn update(&mut self, index: u64, delta: i64) {
+        for s in &mut self.samplers {
+            s.update(index, delta);
+        }
+    }
+
+    /// Adds another vertex's message to this one (sketches are linear, so the
+    /// sum is the sketch of the combined incidence vector). Used when several
+    /// original vertices are contracted into one super-vertex before their
+    /// messages are sent to the coordinator.
+    pub fn merge(&mut self, other: &VertexSketch) {
+        for (a, b) in self.samplers.iter_mut().zip(other.samplers.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Size of this message in machine words (the quantity Proposition 8.1
+    /// bounds by `O(log³ n)` bits).
+    pub fn size_in_words(&self) -> usize {
+        self.samplers.iter().map(|s| s.size_in_words()).sum()
+    }
+}
+
+/// The full AGM connectivity sketch of a graph on `n` vertices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectivitySketch {
+    n: usize,
+    num_phases: usize,
+    vertices: Vec<VertexSketch>,
+}
+
+impl ConnectivitySketch {
+    /// Creates a sketch for a graph on `n` vertices using a default number of
+    /// Borůvka phases (`2·⌈log₂ n⌉ + 2`) and a fixed seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let phases = 2 * (usize::BITS - n.max(2).leading_zeros()) as usize + 2;
+        Self::with_phases(n, phases, seed)
+    }
+
+    /// Creates a sketch with an explicit number of Borůvka phases. More
+    /// phases increase both the success probability and the message size.
+    ///
+    /// All vertices share the same per-phase hash seeds — this is the
+    /// "players have access to `polylog(n)` shared random bits" requirement
+    /// of Proposition 8.1, and it is what makes sketches of different
+    /// vertices addable.
+    pub fn with_phases(n: usize, num_phases: usize, seed: u64) -> Self {
+        ConnectivitySketch {
+            n,
+            num_phases,
+            vertices: (0..n).map(|_| VertexSketch::new(num_phases, seed)).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes the ordered pair `(u, v)`, `u < v`, as an ℓ0 coordinate.
+    fn edge_index(&self, u: usize, v: usize) -> u64 {
+        debug_assert!(u < v);
+        u as u64 * self.n as u64 + v as u64
+    }
+
+    fn decode_edge(&self, index: u64) -> (usize, usize) {
+        ((index / self.n as u64) as usize, (index % self.n as u64) as usize)
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Self-loops are ignored (they are
+    /// irrelevant for connectivity and have no slot in the incidence vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let idx = self.edge_index(a, b);
+        self.vertices[a].update(idx, 1);
+        self.vertices[b].update(idx, -1);
+    }
+
+    /// Deletes the undirected edge `{u, v}` (the sketch is linear, so
+    /// deletions are just negative updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let idx = self.edge_index(a, b);
+        self.vertices[a].update(idx, -1);
+        self.vertices[b].update(idx, 1);
+    }
+
+    /// The per-vertex message for vertex `v` (what each "player" sends to the
+    /// coordinator in Proposition 8.1).
+    pub fn vertex_sketch(&self, v: usize) -> &VertexSketch {
+        &self.vertices[v]
+    }
+
+    /// Total size of all messages, in words.
+    pub fn total_size_in_words(&self) -> usize {
+        self.vertices.iter().map(|v| v.size_in_words()).sum()
+    }
+
+    /// The coordinator's computation: recovers the connected components from
+    /// the vertex sketches alone by sketch-space Borůvka.
+    ///
+    /// With the default number of phases the output equals the true
+    /// components with high probability; it is always a *refinement* of the
+    /// true components (the sketch can fail to merge, but a sampled edge is
+    /// always a real edge thanks to the fingerprint test).
+    pub fn components(&self) -> ComponentLabels {
+        let mut uf = UnionFind::new(self.n);
+        // Component representative -> accumulated sketch for the current phase.
+        for phase in 0..self.num_phases {
+            // Sum the phase-th sampler of each component.
+            use std::collections::HashMap;
+            let mut acc: HashMap<usize, L0Sampler> = HashMap::new();
+            for v in 0..self.n {
+                let root = uf.find(v);
+                let sampler = &self.vertices[v].samplers[phase];
+                match acc.entry(root) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(sampler),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(sampler.clone());
+                    }
+                }
+            }
+            let mut merged_any = false;
+            for (_root, sampler) in acc {
+                if let Some((idx, _weight)) = sampler.sample() {
+                    let (u, v) = self.decode_edge(idx);
+                    if u < self.n && v < self.n && uf.union(u, v) {
+                        merged_any = true;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        uf.into_labels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wcc_graph::prelude::*;
+
+    fn sketch_components(g: &Graph, seed: u64) -> ComponentLabels {
+        let mut sk = ConnectivitySketch::new(g.num_vertices(), seed);
+        for (u, v) in g.edge_iter() {
+            sk.add_edge(u, v);
+        }
+        sk.components()
+    }
+
+    #[test]
+    fn empty_graph_has_all_singletons() {
+        let g = Graph::empty(10);
+        let labels = sketch_components(&g, 1);
+        assert_eq!(labels.num_components(), 10);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = generators::cycle(50);
+        assert_eq!(sketch_components(&g, 2).num_components(), 1);
+    }
+
+    #[test]
+    fn two_cliques_stay_separate() {
+        let (g, _) = generators::disjoint_union_of(&[generators::complete(8), generators::complete(9)]);
+        let truth = connected_components(&g);
+        let got = sketch_components(&g, 3);
+        assert!(got.same_partition(&truth));
+    }
+
+    #[test]
+    fn random_graphs_match_ground_truth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for seed in 0..5u64 {
+            let g = generators::erdos_renyi(120, 0.02, &mut rng);
+            let truth = connected_components(&g);
+            let got = sketch_components(&g, seed);
+            assert!(
+                got.same_partition(&truth),
+                "seed {seed}: sketch {} vs truth {} components",
+                got.num_components(),
+                truth.num_components()
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_always_a_refinement_even_with_too_few_phases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_out_degree_graph(200, 8, &mut rng);
+        let truth = connected_components(&g);
+        let mut sk = ConnectivitySketch::with_phases(g.num_vertices(), 1, 7);
+        for (u, v) in g.edge_iter() {
+            sk.add_edge(u, v);
+        }
+        let got = sk.components();
+        assert!(got.is_refinement_of(&truth));
+    }
+
+    #[test]
+    fn deletion_stream_is_supported() {
+        // Build a cycle, then delete one edge: still connected. Delete another: splits.
+        let n = 30;
+        let mut sk = ConnectivitySketch::new(n, 9);
+        for i in 0..n {
+            sk.add_edge(i, (i + 1) % n);
+        }
+        sk.remove_edge(0, 1);
+        assert_eq!(sk.components().num_components(), 1);
+        sk.remove_edge(15, 16);
+        assert_eq!(sk.components().num_components(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut sk = ConnectivitySketch::new(5, 4);
+        sk.add_edge(2, 2);
+        assert_eq!(sk.components().num_components(), 5);
+    }
+
+    #[test]
+    fn message_size_is_polylogarithmic() {
+        let sk = ConnectivitySketch::new(1 << 12, 0);
+        let per_vertex = sk.vertex_sketch(0).size_in_words();
+        // O(log^2)-ish words per vertex; definitely far below n.
+        assert!(per_vertex < 10_000, "per-vertex message {per_vertex} words");
+        assert_eq!(sk.total_size_in_words(), per_vertex * (1 << 12));
+    }
+
+    #[test]
+    fn planted_expanders_recovered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = generators::planted_expander_components(&[40, 60, 80], 8, &mut rng);
+        let truth = connected_components(&g);
+        let got = sketch_components(&g, 13);
+        assert!(got.same_partition(&truth));
+    }
+}

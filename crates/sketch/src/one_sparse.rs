@@ -1,0 +1,261 @@
+//! Exact recovery of 1-sparse vectors with a fingerprint test.
+//!
+//! A *1-sparse* vector has exactly one non-zero coordinate. The classic
+//! recovery structure keeps three linear measurements of the stream of
+//! updates `(index, delta)`:
+//!
+//! * `w  = Σ delta`                      (total weight),
+//! * `iw = Σ index · delta`              (index-weighted sum),
+//! * `f  = Σ delta · z^index  (mod p)`   (a polynomial fingerprint at a
+//!    random evaluation point `z`),
+//!
+//! all of which are linear in the vector, so two structures can be added
+//! coordinate-wise. If the vector is 1-sparse with support `{i}` and weight
+//! `w`, then `iw / w = i` and the fingerprint equals `w · z^i`; a vector that
+//! is *not* 1-sparse passes this test with probability at most
+//! `(max index)/p` over the choice of `z` (Schwartz–Zippel on a degree-
+//! `max index` polynomial).
+
+use serde::{Deserialize, Serialize};
+
+/// The Mersenne prime `2^61 - 1` used as the fingerprint field.
+pub const FINGERPRINT_PRIME: u64 = (1 << 61) - 1;
+
+fn mod_p(x: u128) -> u64 {
+    (x % FINGERPRINT_PRIME as u128) as u64
+}
+
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_p(a as u128 * b as u128)
+}
+
+fn add_mod(a: u64, b: u64) -> u64 {
+    mod_p(a as u128 + b as u128)
+}
+
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= FINGERPRINT_PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Result of attempting to recover the sketched vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryOutcome {
+    /// The sketched vector is (verifiably) the zero vector.
+    Zero,
+    /// The sketched vector is 1-sparse: coordinate `index` holds `weight`.
+    OneSparse {
+        /// The unique non-zero coordinate.
+        index: u64,
+        /// Its (signed) value.
+        weight: i64,
+    },
+    /// The sketched vector has two or more non-zero coordinates (or the
+    /// fingerprint test failed).
+    NotOneSparse,
+}
+
+/// A linear sketch that exactly recovers 1-sparse vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OneSparseRecovery {
+    weight_sum: i64,
+    index_weight_sum: i128,
+    fingerprint: u64,
+    /// Random evaluation point of the fingerprint polynomial; two structures
+    /// may only be merged if they share it.
+    z: u64,
+}
+
+impl OneSparseRecovery {
+    /// Creates an empty structure with fingerprint evaluation point `z`
+    /// (callers should draw `z` uniformly from `[1, p)`; see
+    /// [`L0Sampler`](crate::L0Sampler) for how this is seeded).
+    pub fn new(z: u64) -> Self {
+        OneSparseRecovery {
+            weight_sum: 0,
+            index_weight_sum: 0,
+            fingerprint: 0,
+            z: z % FINGERPRINT_PRIME,
+        }
+    }
+
+    /// Applies the update `vector[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        self.weight_sum += delta;
+        self.index_weight_sum += index as i128 * delta as i128;
+        let delta_mod = delta.rem_euclid(FINGERPRINT_PRIME as i64) as u64;
+        self.fingerprint = add_mod(self.fingerprint, mul_mod(delta_mod, pow_mod(self.z, index)));
+    }
+
+    /// Adds another structure (vector addition). Both must share the same
+    /// fingerprint point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two structures were created with different `z`.
+    pub fn merge(&mut self, other: &OneSparseRecovery) {
+        assert_eq!(
+            self.z, other.z,
+            "cannot merge one-sparse recoveries with different fingerprint points"
+        );
+        self.weight_sum += other.weight_sum;
+        self.index_weight_sum += other.index_weight_sum;
+        self.fingerprint = add_mod(self.fingerprint, other.fingerprint);
+    }
+
+    /// Attempts to recover the sketched vector.
+    pub fn recover(&self) -> RecoveryOutcome {
+        if self.weight_sum == 0 && self.index_weight_sum == 0 && self.fingerprint == 0 {
+            return RecoveryOutcome::Zero;
+        }
+        if self.weight_sum == 0 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        if self.index_weight_sum % self.weight_sum as i128 != 0 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        let index = self.index_weight_sum / self.weight_sum as i128;
+        if index < 0 || index > u64::MAX as i128 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        let index = index as u64;
+        let w_mod = self.weight_sum.rem_euclid(FINGERPRINT_PRIME as i64) as u64;
+        let expected = mul_mod(w_mod, pow_mod(self.z, index));
+        if expected != self.fingerprint {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        RecoveryOutcome::OneSparse {
+            index,
+            weight: self.weight_sum,
+        }
+    }
+
+    /// Number of machine words this structure occupies (for the message-size
+    /// accounting of Proposition 8.1).
+    pub fn size_in_words(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Z: u64 = 0x1234_5678_9abc_def1 % FINGERPRINT_PRIME;
+
+    #[test]
+    fn zero_vector_recovers_as_zero() {
+        let s = OneSparseRecovery::new(Z);
+        assert_eq!(s.recover(), RecoveryOutcome::Zero);
+    }
+
+    #[test]
+    fn single_update_recovers_exactly() {
+        let mut s = OneSparseRecovery::new(Z);
+        s.update(42, 7);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 42,
+                weight: 7
+            }
+        );
+    }
+
+    #[test]
+    fn cancelling_updates_return_to_zero() {
+        let mut s = OneSparseRecovery::new(Z);
+        s.update(10, 3);
+        s.update(10, -3);
+        assert_eq!(s.recover(), RecoveryOutcome::Zero);
+    }
+
+    #[test]
+    fn insert_then_delete_other_coordinate_recovers_survivor() {
+        let mut s = OneSparseRecovery::new(Z);
+        s.update(5, 1);
+        s.update(9, 1);
+        s.update(9, -1);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 5,
+                weight: 1
+            }
+        );
+    }
+
+    #[test]
+    fn two_sparse_vector_is_rejected() {
+        let mut s = OneSparseRecovery::new(Z);
+        s.update(3, 1);
+        s.update(8, 1);
+        assert_eq!(s.recover(), RecoveryOutcome::NotOneSparse);
+        // Also with weights that average to an integer index.
+        let mut t = OneSparseRecovery::new(Z);
+        t.update(2, 1);
+        t.update(4, 1);
+        assert_eq!(t.recover(), RecoveryOutcome::NotOneSparse);
+    }
+
+    #[test]
+    fn negative_weight_single_coordinate() {
+        let mut s = OneSparseRecovery::new(Z);
+        s.update(17, -4);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 17,
+                weight: -4
+            }
+        );
+    }
+
+    #[test]
+    fn merge_is_vector_addition() {
+        let mut a = OneSparseRecovery::new(Z);
+        let mut b = OneSparseRecovery::new(Z);
+        a.update(6, 2);
+        a.update(11, 1);
+        b.update(11, -1);
+        a.merge(&b);
+        assert_eq!(
+            a.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 6,
+                weight: 2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different fingerprint points")]
+    fn merge_with_mismatched_z_panics() {
+        let mut a = OneSparseRecovery::new(1);
+        let b = OneSparseRecovery::new(2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn large_indices_are_supported() {
+        // Edge slots are encoded as u*n + v which can approach 2^40 and more.
+        let mut s = OneSparseRecovery::new(Z);
+        let idx = (1u64 << 45) + 12345;
+        s.update(idx, 1);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: idx,
+                weight: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests of the MPC model invariants: memory budgets are
+//! respected (or violations reported), round accounting is additive across
+//! phases, and the simulated primitives agree with their specification.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_core::prelude::*;
+use wcc_graph::prelude::*;
+use wcc_mpc::primitives::{count_by_key, distributed_dedup, distributed_search, distributed_sort};
+use wcc_mpc::{Cluster, MpcConfig, MpcContext, MpcError};
+
+#[test]
+fn strict_memory_mode_rejects_undersized_clusters() {
+    // A cluster that cannot even hold the input must refuse to shuffle.
+    let config = MpcConfig {
+        memory_per_machine: 8,
+        num_machines: 2,
+        delta: 0.5,
+        strict_memory: true,
+    };
+    assert!(config.check_feasible(1000).is_err());
+    let mut ctx = MpcContext::new(config);
+    let cluster = Cluster::from_tuples(&config, (0u64..500).map(|i| (i, i)).collect());
+    let err = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap_err();
+    assert!(matches!(err, MpcError::MemoryExceeded { .. }));
+}
+
+#[test]
+fn pipeline_respects_its_memory_budget_on_well_sized_clusters() {
+    // With the default sizing (memory ≈ input^delta, 4x machines slack) the
+    // pipeline should not record any memory violations on expander inputs.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = generators::planted_expander_components(&[200, 200], 8, &mut rng);
+    let result = well_connected_components(&g, 0.3, &Params::test_scale(), 5).unwrap();
+    assert_eq!(
+        result.stats.memory_violations(),
+        0,
+        "pipeline overflowed a machine: max load {} words",
+        result.stats.max_machine_load_words()
+    );
+}
+
+#[test]
+fn phase_rounds_sum_to_total_rounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::random_regular_permutation_graph(300, 8, &mut rng);
+    let result = well_connected_components(&g, 0.3, &Params::test_scale(), 7).unwrap();
+    let phase_sum: u64 = result.stats.phases().iter().map(|p| p.rounds).sum();
+    assert_eq!(phase_sum, result.stats.total_rounds());
+    let comm_sum: u64 = result
+        .stats
+        .phases()
+        .iter()
+        .map(|p| p.communication_words)
+        .sum();
+    assert_eq!(comm_sum, result.stats.total_communication_words());
+}
+
+#[test]
+fn sort_search_dedup_and_count_agree_with_naive_implementations() {
+    let config = MpcConfig::for_input_size(1 << 14, 0.5);
+    let mut ctx = MpcContext::new(config);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    use rand::Rng;
+    let tuples: Vec<(u64, u64)> = (0..3000).map(|i| (rng.gen_range(0..500), i)).collect();
+    let cluster = Cluster::from_tuples(&config, tuples.clone());
+
+    // Sort.
+    let sorted = distributed_sort(&cluster, &mut ctx, |t| t.0).unwrap();
+    let keys: Vec<u64> = sorted.gather().iter().map(|t| t.0).collect();
+    let mut expected = keys.clone();
+    expected.sort_unstable();
+    assert_eq!(keys, expected);
+
+    // Search.
+    let data: Vec<(u64, u64)> = (0..100).map(|i| (i * 3, i)).collect();
+    let queries: Vec<u64> = vec![0, 3, 4, 297, 300];
+    let found = distributed_search(&data, &queries, &mut ctx);
+    assert_eq!(found, vec![Some(0), Some(1), None, Some(99), None]);
+
+    // Dedup.
+    let deduped = distributed_dedup(&cluster, &mut ctx, |t| t.0).unwrap();
+    let mut distinct: Vec<u64> = tuples.iter().map(|t| t.0).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(deduped.len(), distinct.len());
+
+    // Count.
+    let counts = count_by_key(&cluster, &mut ctx, |t| t.0).unwrap();
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    assert_eq!(total, tuples.len() as u64);
+}
+
+#[test]
+fn sort_round_cost_scales_with_inverse_delta() {
+    // The O(1/δ) factors the paper carries around: halving δ (squaring the
+    // number of memory-limited levels) roughly doubles the sort rounds.
+    let big_memory = MpcConfig::with_memory(1 << 20, 1 << 10);
+    let small_memory = MpcConfig::with_memory(1 << 20, 1 << 5);
+    assert!(small_memory.sort_rounds(1 << 20) >= 2 * big_memory.sort_rounds(1 << 20));
+}
+
+#[test]
+fn total_memory_of_default_configs_is_near_linear() {
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let config = MpcConfig::for_input_size(n, 0.5);
+        assert!(config.total_memory() >= n);
+        assert!(
+            config.total_memory() <= 16 * n,
+            "total memory should stay within polylog slack of the input size"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: every connectivity algorithm in the
+//! workspace must agree with the sequential ground truth on a shared zoo of
+//! graph families, and the paper's round-complexity separation must be
+//! visible on well-connected instances.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_baselines::run_baseline;
+use wcc_core::prelude::*;
+use wcc_core::sublinear::{sublinear_components, SublinearParams};
+use wcc_graph::generators::GraphFamily;
+use wcc_graph::prelude::*;
+use wcc_mpc::{MpcConfig, MpcContext};
+
+fn zoo(seed: u64) -> Vec<(String, Graph)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let families = vec![
+        GraphFamily::Expander { degree: 8 },
+        GraphFamily::PlantedExpanders {
+            num_components: 3,
+            degree: 8,
+        },
+        GraphFamily::PaperRandom { degree: 12 },
+        GraphFamily::Cycle,
+        GraphFamily::BinaryTree,
+        GraphFamily::RingOfCliques { clique_size: 6 },
+        GraphFamily::Star,
+        GraphFamily::PreferentialAttachment {
+            edges_per_vertex: 2,
+        },
+    ];
+    families
+        .into_iter()
+        .map(|f| (f.name(), f.generate(220, &mut rng)))
+        .collect()
+}
+
+#[test]
+fn pipeline_matches_ground_truth_on_the_whole_zoo() {
+    let params = Params::test_scale();
+    for (name, g) in zoo(1) {
+        let truth = connected_components(&g);
+        // Promise a generous gap: the exact endgame keeps the answer right
+        // even where the promise is wrong (cycles, trees, ...).
+        let result = well_connected_components(&g, 0.25, &params, 11).unwrap();
+        assert!(
+            result.components.same_partition(&truth),
+            "pipeline mismatch on {name}: {} vs {} components",
+            result.components.num_components(),
+            truth.num_components()
+        );
+    }
+}
+
+#[test]
+fn adaptive_matches_ground_truth_on_the_whole_zoo() {
+    let params = Params::test_scale();
+    for (name, g) in zoo(2) {
+        let truth = connected_components(&g);
+        let result = adaptive_components(&g, &params, 13).unwrap();
+        assert!(
+            result.components.same_partition(&truth),
+            "adaptive mismatch on {name}"
+        );
+    }
+}
+
+#[test]
+fn sublinear_matches_ground_truth_on_the_whole_zoo() {
+    for (name, g) in zoo(3) {
+        let truth = connected_components(&g);
+        let result = sublinear_components(&g, 64, &SublinearParams::laptop_scale(), 17).unwrap();
+        assert!(
+            result.components.same_partition(&truth),
+            "sublinear mismatch on {name}"
+        );
+    }
+}
+
+#[test]
+fn all_baselines_match_ground_truth_on_the_whole_zoo() {
+    for (name, g) in zoo(4) {
+        let truth = connected_components(&g);
+        for baseline in ["min-label", "hash-to-min", "random-mate", "shiloach-vishkin"] {
+            let mut ctx = MpcContext::new(
+                MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5).permissive(),
+            );
+            let res = run_baseline(baseline, &g, &mut ctx, 23);
+            assert!(
+                res.labels.same_partition(&truth),
+                "{baseline} mismatch on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_separation_on_well_connected_instances() {
+    // The paper's headline: on expander components the pipeline's rounds stay
+    // essentially flat in n while label propagation grows with the diameter /
+    // log n. Compare two sizes a factor 16 apart.
+    let params = Params::laptop_scale();
+    let mut ours = Vec::new();
+    let mut theirs = Vec::new();
+    for &n in &[256usize, 4096] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng);
+        let result = well_connected_components(&g, 0.3, &params, 31).unwrap();
+        ours.push(result.stats.total_rounds());
+        let mut ctx = MpcContext::new(
+            MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5).permissive(),
+        );
+        theirs.push(run_baseline("random-mate", &g, &mut ctx, 5).rounds);
+    }
+    // Our round count barely moves (log log n + constant endgame)...
+    assert!(
+        ours[1] <= ours[0] + 8,
+        "pipeline rounds grew too fast: {ours:?}"
+    );
+    // ...while the constant-growth baseline needs noticeably more rounds on
+    // the larger instance.
+    assert!(
+        theirs[1] > theirs[0],
+        "random-mate rounds should grow with n: {theirs:?}"
+    );
+}
+
+#[test]
+fn pipeline_report_is_consistent_with_stats() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g = generators::planted_expander_components(&[150, 150], 8, &mut rng);
+    let result = well_connected_components(&g, 0.3, &Params::test_scale(), 3).unwrap();
+    assert_eq!(result.report.grow_phases.len(), result.report.num_batches);
+    assert!(result.report.regularized_vertices >= g.num_vertices());
+    assert!(result.stats.total_communication_words() > 0);
+    assert!(result.stats.rounds_in_phase("regularize") >= 1);
+    assert!(result.stats.rounds_in_phase("grow-components") >= 1);
+    assert!(result.stats.rounds_in_phase("low-diameter-bfs") >= 1);
+}

@@ -1,0 +1,127 @@
+//! Property-based tests (proptest): the correctness invariants of every
+//! algorithm hold on arbitrary random inputs, not just the hand-picked cases
+//! of the unit tests.
+
+use proptest::prelude::*;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_core::leader::{contraction_graph, finish_with_bfs};
+use wcc_core::prelude::*;
+use wcc_core::regularize::regularize;
+use wcc_core::sublinear::{sublinear_components, SublinearParams};
+use wcc_graph::prelude::*;
+use wcc_mpc::{MpcConfig, MpcContext};
+use wcc_sketch::ConnectivitySketch;
+
+/// Strategy: a random sparse graph given by a vertex count and an edge list.
+fn arb_graph(max_n: usize, max_extra_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..max_extra_edges);
+        edges.prop_map(move |e| Graph::from_edges_unchecked(n, e))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn union_find_and_bfs_always_agree(g in arb_graph(120, 300)) {
+        let a = connected_components(&g);
+        let b = components::connected_components_union_find(&g);
+        prop_assert!(a.same_partition(&b));
+    }
+
+    #[test]
+    fn spanning_forest_is_always_valid(g in arb_graph(100, 250)) {
+        let f = components::spanning_forest(&g);
+        prop_assert!(components::verify_spanning_forest(&g, &f.edges));
+        // A forest has n - #components edges.
+        prop_assert_eq!(
+            f.edges.len(),
+            g.num_vertices() - connected_components(&g).num_components()
+        );
+    }
+
+    #[test]
+    fn agm_sketch_components_match_truth(g in arb_graph(80, 200), seed in 0u64..50) {
+        let truth = connected_components(&g);
+        let mut sk = ConnectivitySketch::new(g.num_vertices(), seed);
+        for (u, v) in g.edge_iter() {
+            sk.add_edge(u, v);
+        }
+        let got = sk.components();
+        // Always a refinement; equal with the default number of phases.
+        prop_assert!(got.is_refinement_of(&truth));
+        prop_assert!(got.same_partition(&truth));
+    }
+
+    #[test]
+    fn regularization_preserves_components_exactly(g in arb_graph(60, 150), seed in 0u64..20) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ctx = MpcContext::new(
+            MpcConfig::for_input_size(4 * g.num_edges() + 16, 0.5).permissive(),
+        );
+        let reg = regularize(&g, &Params::test_scale(), &mut ctx, &mut rng).unwrap();
+        // Regular output.
+        prop_assert!(reg.graph.is_regular(reg.degree));
+        // Pull-back of the product components equals the input components.
+        let pulled = reg.pull_back_labels(&connected_components(&reg.graph));
+        prop_assert!(pulled.same_partition(&connected_components(&g)));
+    }
+
+    #[test]
+    fn contraction_plus_bfs_is_exact_for_any_partition_refining_components(
+        g in arb_graph(80, 200),
+        seed in 0u64..20,
+    ) {
+        // Start from an arbitrary refinement of the true components (random
+        // sub-partition of each component) and check the endgame repairs it.
+        let truth = connected_components(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let raw: Vec<usize> = (0..g.num_vertices())
+            .map(|v| truth.label(v) * 16 + rng.gen_range(0..3))
+            .collect();
+        let partition = Partition::from_raw_labels(&raw);
+        let mut ctx = MpcContext::new(
+            MpcConfig::for_input_size(4 * g.num_edges() + 16, 0.5).permissive(),
+        );
+        let (finished, _levels) = finish_with_bfs(&g, &partition, &mut ctx);
+        prop_assert!(finished.equals_components(&truth));
+        // And the contraction graph never contains self-loops.
+        let h = contraction_graph(&g, &partition, &mut ctx);
+        prop_assert!(!h.has_self_loops());
+    }
+
+    #[test]
+    fn full_pipeline_is_exact_on_arbitrary_graphs(g in arb_graph(60, 140), seed in 0u64..10) {
+        // The spectral-gap promise is deliberately wrong for most generated
+        // graphs; exactness must hold anyway (the opportunistic part only
+        // affects the round count).
+        let truth = connected_components(&g);
+        let result = well_connected_components(&g, 0.4, &Params::test_scale(), seed).unwrap();
+        prop_assert!(result.components.same_partition(&truth));
+    }
+
+    #[test]
+    fn sublinear_algorithm_is_exact_on_arbitrary_graphs(g in arb_graph(60, 140), seed in 0u64..10) {
+        let truth = connected_components(&g);
+        let result = sublinear_components(&g, 32, &SublinearParams::laptop_scale(), seed).unwrap();
+        prop_assert!(result.components.same_partition(&truth));
+    }
+
+    #[test]
+    fn partition_coarsening_is_monotone(labels in proptest::collection::vec(0usize..6, 2..60)) {
+        let p = Partition::from_raw_labels(&labels);
+        // Coarsening by mapping every part to a single group yields one part.
+        let all_one = p.coarsen(&vec![0usize; p.num_parts()]);
+        prop_assert_eq!(all_one.num_parts(), 1);
+        // Coarsening by the identity keeps the partition.
+        let identity: Vec<usize> = (0..p.num_parts()).collect();
+        let same = p.coarsen(&identity);
+        prop_assert_eq!(same.num_parts(), p.num_parts());
+        prop_assert!(same.to_component_labels().same_partition(&p.to_component_labels()));
+    }
+}
