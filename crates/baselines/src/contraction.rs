@@ -39,9 +39,9 @@ pub fn random_mate_contraction(g: &Graph, ctx: &mut MpcContext, seed: u64) -> Co
         let _ = ctx.record_balanced_load(2 * edges.len());
         // Coin flip per current representative.
         let mut is_leader = vec![false; n];
-        for v in 0..n {
+        for (v, leader) in is_leader.iter_mut().enumerate() {
             if uf.find(v) == v {
-                is_leader[v] = rng.gen_bool(0.5);
+                *leader = rng.gen_bool(0.5);
             }
         }
         // Every non-leader representative joins an arbitrary leader neighbour.
@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn matches_ground_truth_on_various_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let graphs = vec![
+        let graphs = [
             generators::cycle(100),
             generators::star(50),
             generators::erdos_renyi(200, 0.01, &mut rng),

@@ -66,12 +66,12 @@ pub fn hash_to_min(g: &Graph, ctx: &mut MpcContext) -> ComponentLabels {
         ctx.charge_shuffle(message_words);
         let _ = ctx.record_balanced_load(message_words);
         let mut inbox: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-        for v in 0..n {
-            let m = *clusters[v].iter().next().expect("cluster always contains v");
+        for cluster in &clusters {
+            let m = *cluster.iter().next().expect("cluster always contains v");
             // Send the full cluster to the minimum member...
-            inbox[m].extend(clusters[v].iter().copied());
+            inbox[m].extend(cluster.iter().copied());
             // ...and the minimum to every other member.
-            for &u in &clusters[v] {
+            for &u in cluster {
                 inbox[u].insert(m);
             }
         }

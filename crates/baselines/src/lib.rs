@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn all_baselines_agree_with_ground_truth_on_mixed_graphs() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let graphs = vec![
+        let graphs = [
             generators::cycle(64),
             generators::planted_expander_components(&[30, 50, 20], 8, &mut rng),
             generators::erdos_renyi(150, 0.015, &mut rng),

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn matches_ground_truth() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let graphs = vec![
+        let graphs = [
             generators::path(200),
             generators::cycle(111),
             generators::binary_tree(127),

@@ -274,7 +274,7 @@ pub fn exp_regularization(n: usize) -> ExperimentTable {
         &["family", "max degree before", "degree after", "components before", "components after", "gap before", "gap after"],
     );
     let params = Params::laptop_scale();
-    let families = vec![
+    let families = [
         GraphFamily::Expander { degree: 10 },
         GraphFamily::PreferentialAttachment { edges_per_vertex: 2 },
         GraphFamily::PlantedExpanders { num_components: 3, degree: 8 },

@@ -46,7 +46,7 @@ impl ExpanderConnInstance {
     /// Panics if `n < 8` or `d` is odd.
     pub fn build<R: Rng + ?Sized>(n: usize, d: usize, candidate_divisor: usize, rng: &mut R) -> Self {
         assert!(n >= 8, "instance needs at least 8 vertices");
-        assert!(d % 2 == 0, "candidate degree must be even");
+        assert!(d.is_multiple_of(2), "candidate degree must be even");
         let n = n - (n % 2);
         let half = n / 2;
         let k = (n / (candidate_divisor.max(1) * d)).max(1);

@@ -139,7 +139,7 @@ impl Params {
     /// Per-batch random-graph degree `Δ·s` (always even).
     pub fn batch_degree(&self, n: usize) -> usize {
         let d = self.base_degree.max(2) * self.s_factor(n);
-        if d % 2 == 0 {
+        if d.is_multiple_of(2) {
             d
         } else {
             d + 1
@@ -183,7 +183,7 @@ impl Params {
     /// Returns a human-readable message describing the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.expander_degree % 2 != 0 || self.expander_degree < 2 {
+        if !self.expander_degree.is_multiple_of(2) || self.expander_degree < 2 {
             return Err(format!(
                 "expander_degree must be even and >= 2, got {}",
                 self.expander_degree

@@ -42,9 +42,7 @@ impl ProductLayout {
         }
         let mut cloud_of = vec![0usize; offsets[n]];
         for v in 0..n {
-            for idx in offsets[v]..offsets[v + 1] {
-                cloud_of[idx] = v;
-            }
+            cloud_of[offsets[v]..offsets[v + 1]].fill(v);
         }
         ProductLayout { offsets, cloud_of }
     }

@@ -126,7 +126,7 @@ pub fn layered_walk_bundle<R: Rng + ?Sized>(
     // DetectIndependence: a start is independent iff every vertex on its path
     // was visited exactly once.
     let mut independent = vec![true; n];
-    for v in 0..n {
+    for (v, flag) in independent.iter_mut().enumerate() {
         let mut cur = index(v, 0, 0);
         let mut ok = visits[cur] == 1;
         for _ in 0..t {
@@ -135,7 +135,7 @@ pub fn layered_walk_bundle<R: Rng + ?Sized>(
                 ok = false;
             }
         }
-        independent[v] = ok;
+        *flag = ok;
     }
 
     // Endpoint computation by pointer doubling (`N_k(α) = N_{k-1}(N_{k-1}(α))`).
@@ -152,11 +152,9 @@ pub fn layered_walk_bundle<R: Rng + ?Sized>(
     }
     let targets: Vec<usize> = (0..n)
         .map(|v| {
-            let end = if log_t == 0 {
-                jump[index(v, 0, 0)]
-            } else {
-                jump[index(v, 0, 0)]
-            };
+            // After `log_t` doubling passes, `jump` maps each start directly
+            // to its step-`t` successor (for `t = 1`, `jump` is `next`).
+            let end = jump[index(v, 0, 0)];
             (end as usize) % n
         })
         .collect();
@@ -260,9 +258,9 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             for targets in out.iter_mut() {
                 targets.reserve(walks_per_vertex);
             }
-            for v in 0..n {
+            for (v, targets) in out.iter_mut().enumerate() {
                 for _ in 0..walks_per_vertex {
-                    out[v].push(direct_walk_endpoint(&lazy, v, t, rng));
+                    targets.push(direct_walk_endpoint(&lazy, v, t, rng));
                 }
             }
         }
@@ -453,7 +451,7 @@ mod tests {
         let t = 10;
         let lazy = g.with_self_loops(2);
         let exact = lazy_walk_distribution(&g, 0, t);
-        let mut counts = vec![0f64; 12];
+        let mut counts = [0f64; 12];
         let reps = 20_000;
         for _ in 0..reps {
             counts[direct_walk_endpoint(&lazy, 0, t, &mut rng)] += 1.0;

@@ -105,13 +105,13 @@ impl UnionFind {
         let mut canonical = vec![usize::MAX; n];
         let mut labels = vec![0usize; n];
         let mut next = 0usize;
-        for v in 0..n {
+        for (v, label) in labels.iter_mut().enumerate() {
             let r = self.find(v);
             if canonical[r] == usize::MAX {
                 canonical[r] = next;
                 next += 1;
             }
-            labels[v] = canonical[r];
+            *label = canonical[r];
         }
         ComponentLabels {
             labels,

@@ -65,7 +65,7 @@ pub fn random_regular_permutation_graph<R: Rng + ?Sized>(
     d: usize,
     rng: &mut R,
 ) -> Graph {
-    assert!(d % 2 == 0, "permutation model requires even degree, got {d}");
+    assert!(d.is_multiple_of(2), "permutation model requires even degree, got {d}");
     assert!(n >= 2, "permutation model requires at least 2 vertices");
     let mut builder = GraphBuilder::with_capacity(n, n * d / 2);
     let mut perm: Vec<usize> = (0..n).collect();

@@ -273,9 +273,9 @@ pub fn conductance(g: &Graph, set: &[usize]) -> Option<f64> {
     let mut cut = 0usize;
     let mut vol_s = 0usize;
     let mut vol_rest = 0usize;
-    for v in 0..n {
+    for (v, &inside) in in_set.iter().enumerate() {
         let d = g.degree(v);
-        if in_set[v] {
+        if inside {
             vol_s += d;
         } else {
             vol_rest += d;

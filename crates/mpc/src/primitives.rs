@@ -41,7 +41,7 @@ where
     for m in 0..cluster.num_machines() {
         all.extend_from_slice(cluster.machine(m));
     }
-    all.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    all.sort_by_key(|a| sort_key(a));
     // Redistribute contiguous runs.
     let machines = cluster.num_machines().max(1);
     let chunk = n.div_ceil(machines).max(1);

@@ -176,16 +176,26 @@ impl ConnectivitySketch {
                     }
                 }
             }
-            let mut merged_any = false;
+            // A phase may merge nothing just because every component's sample
+            // failed (each fails with constant probability) — that is not
+            // convergence, and later phases have fresh randomness. Exit early
+            // only when no component has an outgoing edge: `is_zero` tests
+            // level 0 (which holds every coordinate), so a false "zero"
+            // requires a fingerprint collision, probability O(n²/p) per check.
+            let mut all_zero = true;
             for (_root, sampler) in acc {
+                if sampler.is_zero() {
+                    continue;
+                }
+                all_zero = false;
                 if let Some((idx, _weight)) = sampler.sample() {
                     let (u, v) = self.decode_edge(idx);
-                    if u < self.n && v < self.n && uf.union(u, v) {
-                        merged_any = true;
+                    if u < self.n && v < self.n {
+                        uf.union(u, v);
                     }
                 }
             }
-            if !merged_any {
+            if all_zero {
                 break;
             }
         }

@@ -7,7 +7,7 @@
 //! * `w  = Σ delta`                      (total weight),
 //! * `iw = Σ index · delta`              (index-weighted sum),
 //! * `f  = Σ delta · z^index  (mod p)`   (a polynomial fingerprint at a
-//!    random evaluation point `z`),
+//!   random evaluation point `z`),
 //!
 //! all of which are linear in the vector, so two structures can be added
 //! coordinate-wise. If the vector is 1-sparse with support `{i}` and weight

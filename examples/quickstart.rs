@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p wcc-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use rand::SeedableRng;
@@ -14,9 +14,23 @@ use wcc_graph::prelude::*;
 fn main() -> Result<(), CoreError> {
     // Build a sparse graph whose connected components are 8-regular random
     // expanders — the paper's flagship "well-connected" instance. Constant
-    // spectral gap, O(n) edges.
+    // spectral gap, O(n) edges. `WCC_EXAMPLE_SCALE` divides the instance
+    // sizes so the examples smoke test can run this quickly unoptimized.
+    let scale: usize = std::env::var("WCC_EXAMPLE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1);
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    let g = generators::planted_expander_components(&[4000, 2500, 1500], 8, &mut rng);
+    let g = generators::planted_expander_components(
+        &[
+            (4000 / scale).max(16),
+            (2500 / scale).max(16),
+            (1500 / scale).max(16),
+        ],
+        8,
+        &mut rng,
+    );
     println!(
         "input: {} vertices, {} edges, {} true components",
         g.num_vertices(),

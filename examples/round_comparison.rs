@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p wcc-bench --example round_comparison
+//! cargo run --release --example round_comparison
 //! ```
 
 use rand::SeedableRng;

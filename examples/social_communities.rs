@@ -9,7 +9,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p wcc-bench --example social_communities
+//! cargo run --release --example social_communities
 //! ```
 
 use rand::SeedableRng;

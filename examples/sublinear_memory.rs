@@ -8,7 +8,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p wcc-bench --example sublinear_memory
+//! cargo run --release --example sublinear_memory
 //! ```
 
 use wcc_core::sublinear::{sublinear_components, SublinearParams};

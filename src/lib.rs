@@ -1,0 +1,12 @@
+//! Umbrella crate for the Assadi–Sun–Weinstein (PODC 2019) reproduction.
+//!
+//! This root package exists to own the repo-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it re-exports every member
+//! crate so those targets see the whole workspace through one dependency.
+
+pub use wcc_baselines as baselines;
+pub use wcc_bench as bench;
+pub use wcc_core as core;
+pub use wcc_graph as graph;
+pub use wcc_mpc as mpc;
+pub use wcc_sketch as sketch;

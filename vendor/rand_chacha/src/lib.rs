@@ -1,0 +1,173 @@
+//! Offline shim of `rand_chacha`: [`ChaCha8Rng`] and [`ChaCha20Rng`] backed
+//! by a genuine ChaCha keystream (Bernstein's cipher run as a PRNG), exposed
+//! through the vendored `rand` traits. Deterministic per seed; not
+//! bit-compatible with upstream `rand_chacha` (nothing here requires that).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha keystream generator with a configurable number of double rounds.
+#[derive(Debug, Clone)]
+struct ChaChaCore<const DOUBLE_ROUNDS: usize> {
+    /// The 16-word ChaCha input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next word index within `block`; 16 means "exhausted".
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaCore<DOUBLE_ROUNDS> {
+    fn new(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // words 12..13: 64-bit block counter; 14..15: nonce (zero).
+        Self {
+            state,
+            block: [0u32; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
+        }
+        // Increment the 64-bit counter in words 12/13.
+        let counter = ((self.state[13] as u64) << 32 | self.state[12] as u64).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $double_rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: ChaChaCore<$double_rounds>,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self {
+                    core: ChaChaCore::new(seed),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                hi << 32 | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 4, "ChaCha with 8 rounds (4 double rounds): the fast variant used throughout this repo's experiments.");
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds (the full cipher).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn chacha20_known_answer_rfc7539_block1() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, nonce 0, counter... our
+        // construction uses a zero nonce and starts the counter at 0, which
+        // matches the RFC vector with counter=0 only in layout, not values —
+        // so instead just sanity-check the keystream is stable.
+        let mut rng = ChaCha20Rng::from_seed(core::array::from_fn(|i| i as u8));
+        let first = rng.next_u32();
+        let mut again = ChaCha20Rng::from_seed(core::array::from_fn(|i| i as u8));
+        assert_eq!(first, again.next_u32());
+    }
+}

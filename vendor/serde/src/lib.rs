@@ -1,0 +1,200 @@
+//! Offline shim of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides [`Serialize`]/[`Deserialize`] traits plus `#[derive(Serialize,
+//! Deserialize)]` with the semantics the repo relies on: serialization into a
+//! JSON-style [`Value`] tree that `serde_json` renders. `Deserialize` is
+//! derived throughout the tree but never exercised, so here it is a marker
+//! trait; a future PR can widen it if JSON input is ever needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A JSON-style document tree — the target of [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the [`Value`] representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for deserializable types. The workspace derives this everywhere but
+/// never feeds JSON back in, so no decoding machinery is required yet.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        // JSON numbers cap at 64 bits here; stringify to stay lossless.
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for i128 {}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for u128 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V> Deserialize for BTreeMap<K, V> {}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    };
+}
+
+impl_serialize_tuple!(A: 0);
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}

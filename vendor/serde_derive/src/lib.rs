@@ -1,0 +1,304 @@
+//! Offline shim of `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so this crate parses
+//! the derive input with a small hand-rolled walker over
+//! [`proc_macro::TokenTree`]s and emits the impl as a source string. It
+//! supports exactly the shapes this workspace uses: non-generic structs
+//! (named, tuple, unit) and non-generic enums with unit, tuple, or
+//! struct-like variants. `#[serde(...)]` attributes are not supported and
+//! absent from the tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+/// Skip any `#[...]` attribute at position `i`; returns the next position.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(...)` visibility marker at position `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or expression) until a comma at angle-bracket depth 0.
+/// Returns the index of the comma (or `tokens.len()`).
+fn skip_until_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named fields from the tokens of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        let TokenTree::Ident(field) = &tokens[i] else {
+            panic!("serde_derive shim: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(field.to_string());
+        i += 1; // field name
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':', got {other:?}"),
+        }
+        i = skip_until_top_level_comma(tokens, i);
+        i += 1; // the comma (or one past the end)
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant from its paren group.
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(tokens, skip_attrs(tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_until_top_level_comma(tokens, i) + 1;
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive shim: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        i = skip_until_top_level_comma(tokens, i) + 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde_derive shim: expected struct/enum keyword, got {:?}", tokens[i]);
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive shim: expected item name, got {:?}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive shim: generic type `{name}` is not supported; \
+                 widen vendor/serde_derive if the workspace ever needs this"
+            );
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>()),
+            },
+            other => panic!("serde_derive shim: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn object_literal(entries: &[(String, String)]) -> String {
+    let pairs: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name().to_string();
+    let body = match &item {
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::NamedStruct { fields, .. } => object_literal(
+            &fields
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect::<Vec<_>>(),
+        ),
+        Item::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            if *arity == 1 {
+                items.into_iter().next().unwrap()
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Item::Enum { variants, .. } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let payload = if *arity == 1 {
+                                values[0].clone()
+                            } else {
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    values.join(", ")
+                                )
+                            };
+                            let tagged =
+                                object_literal(&[(vname.clone(), payload)]);
+                            format!("{name}::{vname}({}) => {tagged},", binders.join(", "))
+                        }
+                        VariantKind::Named(fields) => {
+                            let payload = object_literal(
+                                &fields
+                                    .iter()
+                                    .map(|f| {
+                                        (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                                    })
+                                    .collect::<Vec<_>>(),
+                            );
+                            let tagged = object_literal(&[(vname.clone(), payload)]);
+                            format!(
+                                "{name}::{vname} {{ {} }} => {tagged},",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}

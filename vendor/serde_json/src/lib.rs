@@ -1,0 +1,149 @@
+//! Offline shim of the `serde_json` API surface this workspace uses:
+//! [`to_string`] / [`to_string_pretty`] over the vendored `serde` [`Value`]
+//! tree. Output is real JSON (RFC 8259): string escapes, `null` for
+//! non-finite floats, two-space pretty indentation like upstream.
+
+pub use serde::Value;
+use serde::Serialize;
+
+/// Serialization error. The shim's value tree can always be rendered, so this
+/// is never constructed today; it exists so call sites keep the upstream
+/// `Result` shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a trailing `.0`.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) =>
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, item, ind, d| {
+                write_value(o, item, ind, d)
+            }),
+        Value::Object(entries) =>
+            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, val), ind, d| {
+                write_json_string(o, k);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, d);
+            }),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    indent: Option<&str>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<&str>, usize),
+) {
+    out.push(open);
+    let mut any = false;
+    for (i, item) in items.enumerate() {
+        any = true;
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = indent {
+            out.push('\n');
+            out.push_str(&ind.repeat(depth + 1));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if any {
+        if let Some(ind) = indent {
+            out.push('\n');
+            out.push_str(&ind.repeat(depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_pretty_json() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("E1".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(0.5)]),
+            ),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"name\": \"E1\",\n  \"rows\": [\n    1,\n    0.5\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_point_zero() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&3.25f64).unwrap(), "3.25");
+    }
+}
