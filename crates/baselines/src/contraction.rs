@@ -12,7 +12,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use wcc_graph::{ComponentLabels, Graph, UnionFind};
-use wcc_mpc::MpcContext;
+use wcc_mpc::{derive_stream_seed, MpcContext};
 
 /// Random-mate contraction. Returns the exact connected components; charges
 /// two MPC rounds per contraction phase (one to pick leaders and exchange
@@ -23,10 +23,7 @@ pub fn random_mate_contraction(g: &Graph, ctx: &mut MpcContext, seed: u64) -> Co
     ctx.begin_phase("random-mate");
     let mut uf = UnionFind::new(n);
     // Current contracted edge list between component representatives.
-    let mut edges: Vec<(usize, usize)> = g
-        .edge_iter()
-        .filter(|&(u, v)| u != v)
-        .collect();
+    let mut edges: Vec<(usize, usize)> = g.edge_iter().filter(|&(u, v)| u != v).collect();
     // Safety bound: random mate halves the vertex count in expectation, so
     // 4 log n + 16 rounds suffice with overwhelming probability; the loop also
     // exits as soon as no contractible edge remains.
@@ -37,13 +34,14 @@ pub fn random_mate_contraction(g: &Graph, ctx: &mut MpcContext, seed: u64) -> Co
         }
         ctx.charge_shuffle(2 * edges.len());
         let _ = ctx.record_balanced_load(2 * edges.len());
-        // Coin flip per current representative.
-        let mut is_leader = vec![false; n];
-        for (v, leader) in is_leader.iter_mut().enumerate() {
-            if uf.find(v) == v {
-                *leader = rng.gen_bool(0.5);
-            }
-        }
+        // Coin flip per current representative, one derived ChaCha8 stream
+        // per vertex so the flips parallelise deterministically.
+        let phase_base = rng.gen::<u64>();
+        let roots: Vec<usize> = (0..n).map(|v| uf.find(v)).collect();
+        let is_leader: Vec<bool> = ctx.executor().map_indexed(n, |v| {
+            roots[v] == v
+                && ChaCha8Rng::seed_from_u64(derive_stream_seed(phase_base, v as u64)).gen_bool(0.5)
+        });
         // Every non-leader representative joins an arbitrary leader neighbour.
         let mut join: Vec<Option<usize>> = vec![None; n];
         for &(u, v) in &edges {

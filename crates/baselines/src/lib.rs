@@ -95,9 +95,15 @@ mod tests {
         ];
         for (i, g) in graphs.iter().enumerate() {
             let truth = connected_components(g);
-            for name in ["min-label", "hash-to-min", "random-mate", "shiloach-vishkin"] {
-                let mut ctx =
-                    MpcContext::new(MpcConfig::for_input_size(2 * g.num_edges() + 10, 0.5).permissive());
+            for name in [
+                "min-label",
+                "hash-to-min",
+                "random-mate",
+                "shiloach-vishkin",
+            ] {
+                let mut ctx = MpcContext::new(
+                    MpcConfig::for_input_size(2 * g.num_edges() + 10, 0.5).permissive(),
+                );
                 let result = run_baseline(name, g, &mut ctx, 17);
                 assert!(
                     result.labels.same_partition(&truth),

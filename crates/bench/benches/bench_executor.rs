@@ -1,0 +1,80 @@
+//! Sequential vs Threaded executor on the pipeline hot path.
+//!
+//! The quantity tracked release over release is the wall-clock cost of
+//! `well_connected_components` (whose runtime is dominated by the per-vertex
+//! random-walk fan-out of Step 2) under each backend, on a quickstart-scale
+//! planted-expander graph. The outputs are bit-identical by construction
+//! (see `tests/executor_determinism.rs`), so any difference is pure
+//! execution-backend overhead or speedup. A snapshot of these numbers lives
+//! in `BENCH_executor.json` at the workspace root, together with the
+//! hardware they were taken on — speedup at `threads > 1` requires the host
+//! to actually have that many cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wcc_core::prelude::*;
+use wcc_graph::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn quickstart_graph(n: usize) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng)
+}
+
+fn bench_pipeline_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for &n in &[1024usize, 4096] {
+        let g = quickstart_graph(n);
+        for &threads in &THREAD_COUNTS {
+            let params = Params::laptop_scale().with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("wcc_pipeline_t{threads}"), n),
+                &g,
+                |b, g| b.iter(|| well_connected_components(g, 0.3, &params, 7).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_walk_fanout_backends(c: &mut Criterion) {
+    // The isolated hot path: Step 2's independent lazy walks on a regular
+    // graph, which is where nearly all pipeline wall-clock goes.
+    use wcc_core::walks::{independent_lazy_walks, WalkMode};
+    use wcc_mpc::{MpcConfig, MpcContext};
+
+    let mut group = c.benchmark_group("executor_walk_fanout");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let n = 8192;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::random_regular_permutation_graph(n, 8, &mut rng);
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("independent_lazy_walks", format!("t{threads}/n{n}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let config = MpcConfig::for_input_size(4 * g.num_edges(), 0.5)
+                        .permissive()
+                        .with_threads(threads);
+                    let mut ctx = MpcContext::new(config);
+                    let mut rng = ChaCha8Rng::seed_from_u64(3);
+                    independent_lazy_walks(g, 64, 4, WalkMode::Direct, 2, &mut ctx, &mut rng)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_backends, bench_walk_fanout_backends);
+criterion_main!(benches);

@@ -41,17 +41,15 @@ fn bench_pipeline_vs_baselines(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("baseline_hash_to_min", n), &g, |b, g| {
             b.iter(|| {
-                let mut ctx = MpcContext::new(
-                    MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive(),
-                );
+                let mut ctx =
+                    MpcContext::new(MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive());
                 hash_to_min(g, &mut ctx)
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline_random_mate", n), &g, |b, g| {
             b.iter(|| {
-                let mut ctx = MpcContext::new(
-                    MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive(),
-                );
+                let mut ctx =
+                    MpcContext::new(MpcConfig::for_input_size(2 * g.num_edges(), 0.5).permissive());
                 random_mate_contraction(g, &mut ctx, 3)
             })
         });
@@ -74,15 +72,19 @@ fn bench_growth_stage(c: &mut Criterion) {
         let batches: Vec<Graph> = (0..params.num_phases(n))
             .map(|_| generators::random_out_degree_graph(n, degree, &mut rng))
             .collect();
-        group.bench_with_input(BenchmarkId::new("grow_components", n), &batches, |b, batches| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(3);
-                let mut ctx = MpcContext::new(
-                    MpcConfig::for_input_size(4 * n * degree, 0.5).permissive(),
-                );
-                wcc_core::leader::grow_components(batches, &params, &mut ctx, &mut rng).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grow_components", n),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(3);
+                    let mut ctx = MpcContext::new(
+                        MpcConfig::for_input_size(4 * n * degree, 0.5).permissive(),
+                    );
+                    wcc_core::leader::grow_components(batches, &params, &mut ctx, &mut rng).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -74,17 +74,29 @@ fn bench_mpc_sort(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for &n in &[50_000usize, 200_000] {
         let config = MpcConfig::for_input_size(2 * n, 0.5).permissive();
-        let tuples: Vec<(u64, u64)> = (0..n as u64).map(|i| ((i * 2654435761) % n as u64, i)).collect();
-        group.bench_with_input(BenchmarkId::new("distributed_sort", n), &tuples, |b, tuples| {
-            b.iter(|| {
-                let mut ctx = MpcContext::new(config);
-                let cluster = Cluster::from_tuples(&config, tuples.clone());
-                distributed_sort(&cluster, &mut ctx, |t| t.0).unwrap()
-            })
-        });
+        let tuples: Vec<(u64, u64)> = (0..n as u64)
+            .map(|i| ((i * 2654435761) % n as u64, i))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("distributed_sort", n),
+            &tuples,
+            |b, tuples| {
+                b.iter(|| {
+                    let mut ctx = MpcContext::new(config);
+                    let cluster = Cluster::from_tuples(&config, tuples.clone());
+                    distributed_sort(&cluster, &mut ctx, |t| t.0).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_walks, bench_spectral, bench_sketch, bench_mpc_sort);
+criterion_group!(
+    benches,
+    bench_walks,
+    bench_spectral,
+    bench_sketch,
+    bench_mpc_sort
+);
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! ```text
 //! USAGE:
 //!   wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]
-//!                        [--lambda <gap>] [--memory <words>] [--seed <u64>] [--sizes]
+//!                        [--lambda <gap>] [--memory <words>] [--seed <u64>]
+//!                        [--threads <n>] [--sizes]
 //!
 //! The edge-list format is one `u v` pair per line; `#`/`%` lines are comments.
 //! Prints the number of components, the simulated MPC rounds, and (with
@@ -29,6 +30,8 @@ struct Options {
     lambda: f64,
     memory: usize,
     seed: u64,
+    /// Execution-backend worker threads (0 = resolve from WCC_THREADS).
+    threads: usize,
     show_sizes: bool,
 }
 
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
         lambda: 0.25,
         memory: 0,
         seed: 7,
+        threads: 0,
         show_sizes: false,
     };
     while let Some(arg) = args.next() {
@@ -68,6 +72,13 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--sizes" => opts.show_sizes = true,
             "--help" | "-h" => return Err("help".to_string()),
             other if opts.path.is_empty() && !other.starts_with('-') => {
@@ -85,7 +96,8 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]\n\
-         \x20          [--lambda <gap>] [--memory <words>] [--seed <u64>] [--sizes]"
+         \x20          [--lambda <gap>] [--memory <words>] [--seed <u64>]\n\
+         \x20          [--threads <n>] [--sizes]"
     );
 }
 
@@ -116,14 +128,23 @@ fn main() -> ExitCode {
     );
 
     let (labels, rounds) = match opts.algorithm.as_str() {
-        "wcc" => match well_connected_components(&g, opts.lambda, &Params::laptop_scale(), opts.seed) {
+        "wcc" => match well_connected_components(
+            &g,
+            opts.lambda,
+            &Params::laptop_scale().with_threads(opts.threads),
+            opts.seed,
+        ) {
             Ok(r) => (r.components, Some(r.stats.total_rounds())),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        "adaptive" => match adaptive_components(&g, &Params::laptop_scale(), opts.seed) {
+        "adaptive" => match adaptive_components(
+            &g,
+            &Params::laptop_scale().with_threads(opts.threads),
+            opts.seed,
+        ) {
             Ok(r) => (r.components, Some(r.stats.total_rounds())),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -136,7 +157,12 @@ fn main() -> ExitCode {
             } else {
                 (g.num_vertices() as f64).sqrt().ceil() as usize * 8
             };
-            match sublinear_components(&g, memory, &SublinearParams::laptop_scale(), opts.seed) {
+            match sublinear_components(
+                &g,
+                memory,
+                &SublinearParams::laptop_scale().with_threads(opts.threads),
+                opts.seed,
+            ) {
                 Ok(r) => (r.components, Some(r.stats.total_rounds())),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -146,7 +172,9 @@ fn main() -> ExitCode {
         }
         "hash-to-min" => {
             let mut ctx = MpcContext::new(
-                MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5).permissive(),
+                MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5)
+                    .permissive()
+                    .with_threads(opts.threads),
             );
             let r = run_baseline("hash-to-min", &g, &mut ctx, opts.seed);
             (r.labels, Some(r.rounds))
@@ -167,7 +195,10 @@ fn main() -> ExitCode {
     if opts.show_sizes {
         let mut sizes = labels.component_sizes();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
-        println!("largest component sizes: {:?}", &sizes[..sizes.len().min(20)]);
+        println!(
+            "largest component sizes: {:?}",
+            &sizes[..sizes.len().min(20)]
+        );
     }
     ExitCode::SUCCESS
 }

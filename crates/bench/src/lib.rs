@@ -107,7 +107,8 @@ fn fmt_f(x: f64) -> String {
 
 fn ctx_for_graph(g: &Graph, delta: f64) -> MpcContext {
     MpcContext::new(
-        MpcConfig::for_input_size((2 * g.num_edges() + g.num_vertices()).max(64), delta).permissive(),
+        MpcConfig::for_input_size((2 * g.num_edges() + g.num_vertices()).max(64), delta)
+            .permissive(),
     )
 }
 
@@ -159,7 +160,15 @@ pub fn exp_rounds_vs_gap(n: usize) -> ExperimentTable {
         "E2",
         "MPC rounds vs spectral gap λ across graph families",
         "Theorem 1/4: rounds grow like log(1/λ) as the gap shrinks (walk length T = O(log n / λ)).",
-        &["family", "n", "measured λ", "promised λ", "walk length T", "wcc rounds", "bfs endgame levels"],
+        &[
+            "family",
+            "n",
+            "measured λ",
+            "promised λ",
+            "walk length T",
+            "wcc rounds",
+            "bfs endgame levels",
+        ],
     );
     let params = Params::laptop_scale();
     let families: Vec<(GraphFamily, f64)> = vec![
@@ -194,7 +203,15 @@ pub fn exp_growth_per_phase(n: usize) -> ExperimentTable {
         "Component growth per leader-election phase on random batches",
         "Lemma 6.7 / Remark 1.1: part sizes grow quadratically per phase \
          (Δ, Δ², Δ⁴, …) instead of by a constant factor.",
-        &["phase", "target Δ_i", "parts before", "parts after", "median part size", "max part size", "orphans"],
+        &[
+            "phase",
+            "target Δ_i",
+            "parts before",
+            "parts after",
+            "median part size",
+            "max part size",
+            "orphans",
+        ],
     );
     let params = Params::laptop_scale();
     let mut rng = ChaCha8Rng::seed_from_u64(300);
@@ -229,11 +246,21 @@ pub fn exp_random_walk_quality(n: usize, t: usize) -> ExperimentTable {
         "Theorem 3 + Lemma 5.3: every vertex obtains a walk endpoint with the true walk \
          distribution, and each walk is certified independent with probability ≥ 1/2 \
          (regular graphs); hub graphs destroy independence, which is why Step 1 regularizes.",
-        &["graph", "n", "walk length", "certified independent", "fraction", "endpoint TVD to uniform"],
+        &[
+            "graph",
+            "n",
+            "walk length",
+            "certified independent",
+            "fraction",
+            "endpoint TVD to uniform",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(400);
     let cases: Vec<(&str, Graph)> = vec![
-        ("regular expander (d=8)", generators::random_regular_permutation_graph(n, 8, &mut rng)),
+        (
+            "regular expander (d=8)",
+            generators::random_regular_permutation_graph(n, 8, &mut rng),
+        ),
         ("star (hub)", generators::star(n)),
     ];
     for (name, g) in cases {
@@ -271,13 +298,26 @@ pub fn exp_regularization(n: usize) -> ExperimentTable {
         "Replacement-product regularization",
         "Lemma 4.1: output is Δ-regular on 2m vertices, components correspond one-to-one, \
          and the spectral gap is preserved up to a constant factor (Proposition 4.2).",
-        &["family", "max degree before", "degree after", "components before", "components after", "gap before", "gap after"],
+        &[
+            "family",
+            "max degree before",
+            "degree after",
+            "components before",
+            "components after",
+            "gap before",
+            "gap after",
+        ],
     );
     let params = Params::laptop_scale();
     let families = [
         GraphFamily::Expander { degree: 10 },
-        GraphFamily::PreferentialAttachment { edges_per_vertex: 2 },
-        GraphFamily::PlantedExpanders { num_components: 3, degree: 8 },
+        GraphFamily::PreferentialAttachment {
+            edges_per_vertex: 2,
+        },
+        GraphFamily::PlantedExpanders {
+            num_components: 3,
+            degree: 8,
+        },
         GraphFamily::Star,
     ];
     for (i, family) in families.iter().enumerate() {
@@ -318,7 +358,8 @@ pub fn exp_sublinear_space(n: usize, memories: &[usize]) -> ExperimentTable {
     let g = generators::grid(side, side);
     let truth = connected_components(&g);
     for (i, &s) in memories.iter().enumerate() {
-        let result = sublinear_components(&g, s, &SublinearParams::laptop_scale(), 13 + i as u64).unwrap();
+        let result =
+            sublinear_components(&g, s, &SublinearParams::laptop_scale(), 13 + i as u64).unwrap();
         assert!(result.components.same_partition(&truth));
         table.push(vec![
             s.to_string(),
@@ -339,7 +380,12 @@ pub fn exp_adaptive_unknown_gap(n: usize) -> ExperimentTable {
         "Adaptive algorithm with unknown spectral gaps",
         "Corollary 7.1: components with gap λ are output after O(log log (1/λ)) guess levels \
          (λ' = 1/2, then λ'^1.1, …); well-connected components finish in the first levels.",
-        &["level", "gap guess λ'", "active vertices", "rounds this level"],
+        &[
+            "level",
+            "gap guess λ'",
+            "active vertices",
+            "rounds this level",
+        ],
     );
     let params = Params::laptop_scale();
     let mut rng = ChaCha8Rng::seed_from_u64(700);
@@ -368,7 +414,14 @@ pub fn exp_lower_bound_game(sizes: &[usize]) -> ExperimentTable {
         "Decision-tree adversary for ExpanderConn",
         "Lemma 9.3 / Claim 9.4: the adversary forces Ω(n / log n) edge queries; \
          with s-word machines this yields the Ω(log_s n) round bound of Theorem 5.",
-        &["n", "candidates k", "max edge multiplicity", "forced queries (greedy)", "k / multiplicity", "n / log2 n"],
+        &[
+            "n",
+            "candidates k",
+            "max edge multiplicity",
+            "forced queries (greedy)",
+            "k / multiplicity",
+            "n / log2 n",
+        ],
     );
     for (i, &n) in sizes.iter().enumerate() {
         let mut rng = ChaCha8Rng::seed_from_u64(800 + i as u64);
@@ -394,15 +447,22 @@ pub fn exp_memory_accounting(sizes: &[usize]) -> ExperimentTable {
         "Per-machine memory and total communication of the pipeline",
         "Theorem 4: O(m^δ polylog) memory per machine, Õ(m/λ²) total memory; the simulator \
          records the realised maxima.",
-        &["n", "memory budget/machine", "max machine load", "violations", "total shuffled words", "rounds"],
+        &[
+            "n",
+            "memory budget/machine",
+            "max machine load",
+            "violations",
+            "total shuffled words",
+            "rounds",
+        ],
     );
     let params = Params::laptop_scale();
     for (i, &n) in sizes.iter().enumerate() {
         let mut rng = ChaCha8Rng::seed_from_u64(900 + i as u64);
         let g = generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng);
         let result = well_connected_components(&g, 0.3, &params, 31 + i as u64).unwrap();
-        let budget =
-            MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), params.delta).memory_per_machine;
+        let budget = MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), params.delta)
+            .memory_per_machine;
         table.push(vec![
             n.to_string(),
             budget.to_string(),
@@ -424,7 +484,14 @@ pub fn exp_vs_baselines(n: usize) -> ExperimentTable {
         "Sections 1.1/1.3: exponential round improvement over label-propagation / \
          constant-growth leader election on well-connected graphs; the two-expanders-with-a-bridge \
          instance has a tiny gap, where the guarantee degrades gracefully.",
-        &["instance", "wcc rounds", "min-label rounds", "hash-to-min rounds", "random-mate rounds", "shiloach-vishkin rounds"],
+        &[
+            "instance",
+            "wcc rounds",
+            "min-label rounds",
+            "hash-to-min rounds",
+            "random-mate rounds",
+            "shiloach-vishkin rounds",
+        ],
     );
     let params = Params::laptop_scale();
     let mut rng = ChaCha8Rng::seed_from_u64(1000);
@@ -443,7 +510,12 @@ pub fn exp_vs_baselines(n: usize) -> ExperimentTable {
     for (j, (name, g, lambda)) in instances.into_iter().enumerate() {
         let result = well_connected_components(&g, lambda, &params, 41 + j as u64).unwrap();
         let mut rounds = vec![result.stats.total_rounds().to_string()];
-        for b in ["min-label", "hash-to-min", "random-mate", "shiloach-vishkin"] {
+        for b in [
+            "min-label",
+            "hash-to-min",
+            "random-mate",
+            "shiloach-vishkin",
+        ] {
             let mut ctx = ctx_for_graph(&g, params.delta);
             let r = run_baseline(b, &g, &mut ctx, 5);
             assert!(r.labels.same_partition(&connected_components(&g)));
@@ -569,7 +641,10 @@ pub fn exp_ablations(n: usize) -> ExperimentTable {
         let b = generators::random_out_degree_graph(n, degree, &mut rng);
         (0..phases).map(|_| b.clone()).collect()
     };
-    for (name, batches) in [("fresh batch per phase", fresh), ("single batch reused", reused)] {
+    for (name, batches) in [
+        ("fresh batch per phase", fresh),
+        ("single batch reused", reused),
+    ] {
         let mut ctx = ctx_for_graph(&batches[0], params.delta);
         let grow = grow_components(&batches, &params, &mut ctx, &mut rng).unwrap();
         let last = grow.phases.last().unwrap();

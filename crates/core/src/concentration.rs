@@ -28,7 +28,9 @@ pub fn bounded_differences_bound(n: usize, lipschitz: f64, t: f64) -> f64 {
     if n == 0 || lipschitz <= 0.0 || t <= 0.0 {
         return 1.0;
     }
-    (-2.0 * t * t / (n as f64 * lipschitz * lipschitz)).exp().min(1.0)
+    (-2.0 * t * t / (n as f64 * lipschitz * lipschitz))
+        .exp()
+        .min(1.0)
 }
 
 /// Outcome of one balls-and-bins experiment (Proposition B.1).

@@ -22,10 +22,11 @@
 use crate::params::Params;
 use crate::regularize::CoreError;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wcc_graph::{components, ComponentLabels, Graph, GraphBuilder, Partition};
-use wcc_mpc::MpcContext;
+use wcc_mpc::{derive_stream_seed, MpcContext};
 
 /// The grouping decided by one leader-election round on a contraction graph.
 #[derive(Debug, Clone)]
@@ -49,7 +50,11 @@ pub struct LeaderElectionOutcome {
 /// leader neighbour.
 ///
 /// Charges two MPC rounds (one to announce leaders to neighbours, one for the
-/// join messages).
+/// join messages). Both per-vertex passes — the leader coins and the
+/// reservoir-sampled attachments — run on the context's execution backend,
+/// each vertex on its own ChaCha8 stream derived from one draw of the master
+/// generator, so the outcome is bit-identical for every backend and thread
+/// count.
 pub fn leader_election<R: Rng + ?Sized>(
     h: &Graph,
     leader_prob: f64,
@@ -58,48 +63,45 @@ pub fn leader_election<R: Rng + ?Sized>(
 ) -> LeaderElectionOutcome {
     let k = h.num_vertices();
     let p = leader_prob.clamp(0.0, 1.0);
-    let is_leader: Vec<bool> = (0..k).map(|_| rng.gen_bool(p)).collect();
+    let executor = ctx.executor();
+    let coin_base = rng.gen::<u64>();
+    let is_leader: Vec<bool> = executor.map_indexed(k, |v| {
+        ChaCha8Rng::seed_from_u64(derive_stream_seed(coin_base, v as u64)).gen_bool(p)
+    });
     ctx.charge_shuffle(2 * h.num_edges());
     let _ = ctx.record_balanced_load(2 * h.num_edges());
 
     // M(v): a uniformly random leader neighbour (reservoir sampling over the
     // adjacency list so parallel edges weight leaders proportionally, exactly
     // like the paper's uniform choice over N_L(v)).
-    let mut group_raw = vec![usize::MAX; k];
-    let mut num_leaders = 0usize;
-    for v in 0..k {
-        if is_leader[v] {
-            group_raw[v] = v;
-            num_leaders += 1;
-        }
-    }
     ctx.charge_shuffle(2 * h.num_edges());
-    let mut orphans = 0usize;
-    for v in 0..k {
+    let attach_base = rng.gen::<u64>();
+    let choices: Vec<usize> = executor.map_indexed(k, |v| {
         if is_leader[v] {
-            continue;
+            return v;
         }
+        let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(attach_base, v as u64));
         let mut chosen: Option<usize> = None;
         let mut seen = 0usize;
         for &w in h.neighbors(v) {
             let w = w as usize;
             if w != v && is_leader[w] {
                 seen += 1;
-                if rng.gen_range(0..seen) == 0 {
+                if vrng.gen_range(0..seen) == 0 {
                     chosen = Some(w);
                 }
             }
         }
-        match chosen {
-            Some(leader) => group_raw[v] = leader,
-            None => {
-                // M(v) = ⊥: the vertex stays a singleton group this phase.
-                group_raw[v] = v;
-                orphans += 1;
-            }
-        }
-    }
-    let canonical = ComponentLabels::from_raw_labels(&group_raw);
+        // M(v) = ⊥ (no leader neighbour): stay a singleton group this phase.
+        chosen.unwrap_or(v)
+    });
+    let num_leaders = is_leader.iter().filter(|&&b| b).count();
+    let orphans = choices
+        .iter()
+        .enumerate()
+        .filter(|&(v, &c)| c == v && !is_leader[v])
+        .count();
+    let canonical = ComponentLabels::from_raw_labels(&choices);
     LeaderElectionOutcome {
         num_groups: canonical.num_components(),
         group_of: canonical.labels().to_vec(),
@@ -112,21 +114,28 @@ pub fn leader_election<R: Rng + ?Sized>(
 /// `partition`: one vertex per part, one edge per pair of parts joined by at
 /// least one edge of `g` (no self-loops, no parallel edges).
 ///
-/// Charges one sort over the edge list (contract + dedup).
+/// Charges one sort over the edge list (contract + dedup). The per-edge
+/// relabelling fans out over contiguous edge chunks on the context's
+/// backend; the sort + dedup that follows erases the (already identical)
+/// chunk order.
 pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext) -> Graph {
     ctx.charge_sort(g.num_edges().max(1));
-    let mut edges: Vec<(usize, usize)> = g
-        .edge_iter()
-        .map(|(u, v)| {
-            let (a, b) = (partition.part_of(u), partition.part_of(v));
-            if a <= b {
-                (a, b)
-            } else {
-                (b, a)
-            }
-        })
-        .filter(|&(a, b)| a != b)
-        .collect();
+    let raw = g.edges();
+    let mapped: Vec<Vec<(usize, usize)>> = ctx.executor().map_ranges(raw.len(), |range| {
+        raw[range]
+            .iter()
+            .map(|&(u, v)| {
+                let (a, b) = (partition.part_of(u as usize), partition.part_of(v as usize));
+                if a <= b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .filter(|&(a, b)| a != b)
+            .collect()
+    });
+    let mut edges: Vec<(usize, usize)> = mapped.into_iter().flatten().collect();
     edges.sort_unstable();
     edges.dedup();
     Graph::from_edges_unchecked(partition.num_parts(), edges)
@@ -215,7 +224,9 @@ pub fn grow_components<R: Rng + ?Sized>(
         // Leader probability 1/Δ_i, but never so small that the expected
         // number of leaders drops below a handful (the endgame BFS picks up
         // any slack, exactly as the paper stops growing at Δ_F ≈ n^{1/100}).
-        let leader_prob = (1.0 / target_degree as f64).max(s / h.num_vertices().max(1) as f64).min(1.0);
+        let leader_prob = (1.0 / target_degree as f64)
+            .max(s / h.num_vertices().max(1) as f64)
+            .min(1.0);
         let outcome = leader_election(&h, leader_prob, ctx, rng);
         partition = partition.coarsen(&outcome.group_of);
 
@@ -392,17 +403,26 @@ mod tests {
             (mean - d as f64).abs() < 0.5 * d as f64,
             "mean star size {mean}, expected about {d}"
         );
-        assert!(out.orphans == 0, "orphans on a dense random graph: {}", out.orphans);
+        assert!(
+            out.orphans == 0,
+            "orphans on a dense random graph: {}",
+            out.orphans
+        );
     }
 
     #[test]
     fn contraction_graph_drops_loops_and_parallels() {
-        let g = Graph::from_edges_unchecked(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (0, 2)]);
+        let g =
+            Graph::from_edges_unchecked(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (0, 2)]);
         let part = Partition::from_raw_labels(&[0, 0, 0, 1, 1, 1]);
         let mut c = ctx();
         let h = contraction_graph(&g, &part, &mut c);
         assert_eq!(h.num_vertices(), 2);
-        assert_eq!(h.num_edges(), 1, "parallel contracted edges must be deduplicated");
+        assert_eq!(
+            h.num_edges(),
+            1,
+            "parallel contracted edges must be deduplicated"
+        );
         assert!(!h.has_self_loops());
     }
 
@@ -441,10 +461,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let params = Params::test_scale();
         let mut c = ctx();
-        let batches = vec![
-            generators::cycle(10),
-            generators::cycle(12),
-        ];
+        let batches = vec![generators::cycle(10), generators::cycle(12)];
         assert!(matches!(
             grow_components(&batches, &params, &mut c, &mut rng),
             Err(CoreError::BadParams(_))

@@ -44,7 +44,12 @@ impl ExpanderConnInstance {
     /// # Panics
     ///
     /// Panics if `n < 8` or `d` is odd.
-    pub fn build<R: Rng + ?Sized>(n: usize, d: usize, candidate_divisor: usize, rng: &mut R) -> Self {
+    pub fn build<R: Rng + ?Sized>(
+        n: usize,
+        d: usize,
+        candidate_divisor: usize,
+        rng: &mut R,
+    ) -> Self {
         assert!(n >= 8, "instance needs at least 8 vertices");
         assert!(d.is_multiple_of(2), "candidate degree must be even");
         let n = n - (n % 2);
@@ -169,7 +174,11 @@ impl QueryAdversary {
             return QueryAnswer::Resolved;
         }
         self.queries += 1;
-        let key = if u <= v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u <= v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         if let Some(cands) = self.edge_to_candidates.get(&key) {
             for &c in cands {
                 if self.alive[c] {

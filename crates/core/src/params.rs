@@ -71,6 +71,12 @@ pub struct Params {
     /// tiny `λ`, and correctness is unaffected because the pipeline's endgame
     /// is exact regardless of mixing.
     pub max_walk_length: usize,
+    /// Worker threads of the execution backend (forwarded to
+    /// [`MpcConfig::threads`](wcc_mpc::MpcConfig::threads) when the pipeline
+    /// sizes its own cluster): `1` = sequential, `0` = resolve from the
+    /// `WCC_THREADS` environment variable. Results are bit-identical for
+    /// every value — see DESIGN.md, "The executor seam".
+    pub threads: usize,
 }
 
 impl Params {
@@ -98,6 +104,7 @@ impl Params {
             faithful_walks: false,
             layer_copies_multiplier: 2,
             max_walk_length: 1 << 20,
+            threads: 0,
         }
     }
 
@@ -118,6 +125,7 @@ impl Params {
             faithful_walks: false,
             layer_copies_multiplier: 2,
             max_walk_length: 4096,
+            threads: 0,
         }
     }
 
@@ -129,6 +137,13 @@ impl Params {
             max_walk_length: 1024,
             ..Params::laptop_scale()
         }
+    }
+
+    /// Returns a copy using the given number of worker threads (`1` =
+    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The concentration factor `s` for an `n`-vertex instance: at least 2.
@@ -193,7 +208,10 @@ impl Params {
             return Err(format!("delta must be in (0,1), got {}", self.delta));
         }
         if self.base_degree < 2 {
-            return Err(format!("base_degree must be >= 2, got {}", self.base_degree));
+            return Err(format!(
+                "base_degree must be >= 2, got {}",
+                self.base_degree
+            ));
         }
         if !(self.stop_exponent > 0.0 && self.stop_exponent <= 1.0) {
             return Err(format!(
@@ -248,7 +266,10 @@ mod tests {
         let f_small = p.num_phases(1 << 10);
         let f_large = p.num_phases(1 << 20);
         assert!(f_large >= f_small);
-        assert!(f_large <= f_small + 2, "F should barely grow: {f_small} -> {f_large}");
+        assert!(
+            f_large <= f_small + 2,
+            "F should barely grow: {f_small} -> {f_large}"
+        );
     }
 
     #[test]

@@ -146,7 +146,9 @@ pub fn recommended_config(g: &Graph, lambda: f64, params: &Params) -> MpcConfig 
     let working = input_words
         + n_reg * params.batch_degree(n_reg) * params.num_phases(n_reg)
         + 2 * n_reg * walk;
-    let base = MpcConfig::for_input_size(input_words, params.delta).permissive();
+    let base = MpcConfig::for_input_size(input_words, params.delta)
+        .permissive()
+        .with_threads(params.threads);
     let machines = 4 * working.div_ceil(base.memory_per_machine.max(1)) + 1;
     base.with_machines(machines)
 }
@@ -270,7 +272,11 @@ pub struct AdaptiveResult {
 ///
 /// Returns [`CoreError`] if the parameters are invalid or the simulated
 /// cluster cannot hold an intermediate.
-pub fn adaptive_components(g: &Graph, params: &Params, seed: u64) -> Result<AdaptiveResult, CoreError> {
+pub fn adaptive_components(
+    g: &Graph,
+    params: &Params,
+    seed: u64,
+) -> Result<AdaptiveResult, CoreError> {
     params.validate().map_err(CoreError::BadParams)?;
     // Size the cluster for the smallest gap the loop may reach (1/n²), which
     // matches Corollary 7.1's O(1/λ^{2.2}) machine count up to the walk cap.
@@ -295,7 +301,8 @@ pub fn adaptive_components(g: &Graph, params: &Params, seed: u64) -> Result<Adap
         ctx.begin_phase("adaptive-level");
 
         let (sub, mapping) = g.induced_subgraph(&active);
-        let (labels_sub, _report) = pipeline_attempt(&sub, lambda_prime, params, &mut ctx, &mut rng)?;
+        let (labels_sub, _report) =
+            pipeline_attempt(&sub, lambda_prime, params, &mut ctx, &mut rng)?;
 
         // Growable detection (one shuffle over the sub-graph's edges): a
         // component is growable iff some edge of the subgraph crosses out of it.
@@ -440,7 +447,11 @@ mod tests {
         let g = generators::random_regular_permutation_graph(400, 10, &mut rng);
         let result = well_connected_components(&g, 0.3, &params(), 5).unwrap();
         assert_eq!(result.components.num_components(), 1);
-        assert!(result.report.bfs_levels <= 4, "endgame took {} levels", result.report.bfs_levels);
+        assert!(
+            result.report.bfs_levels <= 4,
+            "endgame took {} levels",
+            result.report.bfs_levels
+        );
         let phases = &result.report.grow_phases;
         assert!(!phases.is_empty());
         assert!(phases.last().unwrap().max_part_size > phases.first().unwrap().max_part_size);

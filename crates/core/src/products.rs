@@ -177,14 +177,19 @@ mod tests {
         match size {
             0 => Graph::empty(0),
             1 => Graph::from_edges_unchecked(1, (0..d).map(|_| (0, 0))),
-            2 => Graph::from_edges_unchecked(2, (0..d / 2).map(|_| (0, 1)).chain((0..d / 2).map(|_| (0, 1)))),
+            2 => Graph::from_edges_unchecked(
+                2,
+                (0..d / 2).map(|_| (0, 1)).chain((0..d / 2).map(|_| (0, 1))),
+            ),
             _ => generators::random_regular_permutation_graph(size, d, rng),
         }
     }
 
     fn cloud_family(g: &Graph, d: usize, seed: u64) -> Vec<Graph> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..g.num_vertices()).map(|v| cloud(g.degree(v), d, &mut rng)).collect()
+        (0..g.num_vertices())
+            .map(|v| cloud(g.degree(v), d, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -204,7 +209,10 @@ mod tests {
         let clouds = cloud_family(&g, d, 2);
         let (product, layout) = replacement_product(&g, &clouds);
         assert_eq!(product.num_vertices(), layout.num_vertices());
-        assert_eq!(product.num_vertices(), 2 * g.num_edges() - g.edges().iter().filter(|&&(u, v)| u == v).count());
+        assert_eq!(
+            product.num_vertices(),
+            2 * g.num_edges() - g.edges().iter().filter(|&&(u, v)| u == v).count()
+        );
         assert!(
             product.is_regular(d + 1),
             "degrees: min {} max {}",
@@ -226,8 +234,7 @@ mod tests {
         // base vertices are in the same base component.
         for idx in 0..product.num_vertices() {
             for jdx in (idx + 1)..product.num_vertices().min(idx + 50) {
-                let same_base =
-                    base_cc.same_component(layout.cloud_of[idx], layout.cloud_of[jdx]);
+                let same_base = base_cc.same_component(layout.cloud_of[idx], layout.cloud_of[jdx]);
                 let same_prod = prod_cc.same_component(idx, jdx);
                 assert_eq!(same_base, same_prod, "vertices {idx},{jdx}");
             }
@@ -263,7 +270,12 @@ mod tests {
         let (product, _) = replacement_product(&g, &clouds);
         assert_eq!(product.num_vertices(), 5);
         assert_eq!(connected_components(&product).num_components(), 1);
-        assert!(product.is_regular(5), "max {} min {}", product.max_degree(), product.min_degree());
+        assert!(
+            product.is_regular(5),
+            "max {} min {}",
+            product.max_degree(),
+            product.min_degree()
+        );
     }
 
     #[test]
@@ -288,7 +300,12 @@ mod tests {
         let d = 4;
         let clouds = cloud_family(&g, d, 8);
         let (zz, _) = zigzag_product(&g, &clouds);
-        assert!(zz.is_regular(d * d), "max {} min {}", zz.max_degree(), zz.min_degree());
+        assert!(
+            zz.is_regular(d * d),
+            "max {} min {}",
+            zz.max_degree(),
+            zz.min_degree()
+        );
         assert_eq!(connected_components(&zz).num_components(), 1);
         let gap = spectral::spectral_gap(&zz, 400);
         assert!(gap > 0.02, "zig-zag gap {gap}");

@@ -21,7 +21,7 @@ use crate::leader::{contraction_graph, leader_election};
 use crate::regularize::CoreError;
 use crate::walks::direct_walk_visits;
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wcc_graph::{ComponentLabels, Graph, GraphBuilder, Partition};
@@ -45,6 +45,9 @@ pub struct SublinearParams {
     pub leader_multiplier: f64,
     /// Number of Borůvka phases the AGM sketch is built with.
     pub sketch_phases: usize,
+    /// Worker threads of the execution backend (`1` = sequential, `0` =
+    /// resolve from `WCC_THREADS`); results are identical for every value.
+    pub threads: usize,
 }
 
 impl SublinearParams {
@@ -57,6 +60,7 @@ impl SublinearParams {
             max_walk_length: usize::MAX,
             leader_multiplier: 1.0,
             sketch_phases: 40,
+            threads: 0,
         }
     }
 
@@ -71,7 +75,14 @@ impl SublinearParams {
             max_walk_length: 1 << 16,
             leader_multiplier: 1.0,
             sketch_phases: 24,
+            threads: 0,
         }
+    }
+
+    /// Returns a copy using the given number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -130,7 +141,9 @@ pub fn sublinear_components(
         )));
     }
     let input_words = (2 * g.num_edges() + n).max(16);
-    let config = MpcConfig::with_memory(input_words, memory_per_machine).permissive();
+    let config = MpcConfig::with_memory(input_words, memory_per_machine)
+        .permissive()
+        .with_threads(params.threads);
     let mut ctx = MpcContext::new(config);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let ln_n = (n.max(2) as f64).ln();
@@ -149,13 +162,19 @@ pub fn sublinear_components(
     // not needed here).
     let log_t = (usize::BITS - t.next_power_of_two().leading_zeros()) as u64;
     ctx.charge(1 + 2 * log_t, (n as u64) * (t.min(1 << 20) as u64));
+    // Per-vertex fan-out on the execution backend: every vertex walks on its
+    // own ChaCha8 stream derived from one master draw, so the densified
+    // graph is identical for every backend and thread count.
+    let walk_base = rng.gen::<u64>();
+    let visits: Vec<Vec<usize>> = ctx.executor().map_indexed(n, |v| {
+        let mut vrng = ChaCha8Rng::seed_from_u64(wcc_mpc::derive_stream_seed(walk_base, v as u64));
+        direct_walk_visits(g, v, t, &mut vrng)
+    });
     let mut builder = GraphBuilder::new(n);
-    for v in 0..n {
-        for u in direct_walk_visits(g, v, t, &mut rng) {
-            if u != v {
-                builder.add_edge(v, u).expect("walk stays in range");
-            }
-        }
+    for (v, reached) in visits.iter().enumerate() {
+        builder
+            .add_edges(reached.iter().filter(|&&u| u != v).map(|&u| (v, u)))
+            .expect("walk stays in range");
     }
     let densified = builder.build();
     ctx.end_phase();
@@ -180,10 +199,19 @@ pub fn sublinear_components(
     let phases = params
         .sketch_phases
         .max(2 * (usize::BITS - k.max(2).leading_zeros()) as usize + 16);
-    let mut sketch = wcc_sketch::ConnectivitySketch::with_phases(k, phases, seed ^ 0xABCD);
-    for (a, b) in contracted.edge_iter() {
-        sketch.add_edge(a, b);
-    }
+    // Each super-vertex builds its own message independently (the sketch is
+    // linear), so the construction fans out per vertex on the backend.
+    let sketch_seed = seed ^ 0xABCD;
+    let messages = ctx.executor().map_indexed(k, |v| {
+        wcc_sketch::ConnectivitySketch::vertex_sketch_for(
+            k,
+            phases,
+            sketch_seed,
+            v,
+            contracted.neighbors(v),
+        )
+    });
+    let sketch = wcc_sketch::ConnectivitySketch::from_vertex_sketches(k, phases, messages);
     let max_message_words = (0..k)
         .map(|v| sketch.vertex_sketch(v).size_in_words())
         .max()
@@ -243,7 +271,11 @@ pub fn mildly_sublinear_components(g: &Graph, seed: u64) -> Result<SublinearResu
 /// Internal helper shared with the experiments: expected number of distinct
 /// vertices a walk must reach for the contraction to fit in memory; exposed
 /// for test assertions.
-pub fn densification_degree(n: usize, memory_per_machine: usize, params: &SublinearParams) -> usize {
+pub fn densification_degree(
+    n: usize,
+    memory_per_machine: usize,
+    params: &SublinearParams,
+) -> usize {
     let ln_n = (n.max(2) as f64).ln();
     ((params.degree_multiplier * n as f64 * ln_n / memory_per_machine as f64).ceil() as usize)
         .clamp(2, n)

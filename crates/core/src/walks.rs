@@ -25,9 +25,10 @@
 
 use crate::regularize::CoreError;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use wcc_graph::{Graph, GraphBuilder};
-use wcc_mpc::MpcContext;
+use wcc_mpc::{derive_stream_seed, MpcContext};
 
 /// Which implementation of the Theorem-3 walk primitive to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,7 +190,9 @@ pub fn direct_walk_endpoint<R: Rng + ?Sized>(
         if deg == 0 {
             break;
         }
-        cur = g.nth_neighbor(cur, rng.gen_range(0..deg)).expect("degree > 0");
+        cur = g
+            .nth_neighbor(cur, rng.gen_range(0..deg))
+            .expect("degree > 0");
     }
     cur
 }
@@ -212,7 +215,9 @@ pub fn direct_walk_visits<R: Rng + ?Sized>(
         if deg == 0 {
             break;
         }
-        cur = g.nth_neighbor(cur, rng.gen_range(0..deg)).expect("degree > 0");
+        cur = g
+            .nth_neighbor(cur, rng.gen_range(0..deg))
+            .expect("degree > 0");
         if seen.insert(cur) {
             order.push(cur);
         }
@@ -252,22 +257,31 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
     ctx.charge(walk_rounds(t), (n * t.max(1)) as u64);
     ctx.record_balanced_load(n.saturating_mul(t.max(1)).saturating_mul(2))?;
 
-    let mut out: Vec<Vec<usize>> = vec![Vec::with_capacity(walks_per_vertex); n];
+    let mut out: Vec<Vec<usize>>;
     match mode {
         WalkMode::Direct => {
-            for targets in out.iter_mut() {
-                targets.reserve(walks_per_vertex);
-            }
-            for (v, targets) in out.iter_mut().enumerate() {
-                for _ in 0..walks_per_vertex {
-                    targets.push(direct_walk_endpoint(&lazy, v, t, rng));
-                }
-            }
+            // The per-vertex fan-out is the pipeline's hot path: every vertex
+            // simulates its walks on its own ChaCha8 stream, derived from a
+            // single draw of the master generator. The master therefore
+            // advances by exactly one word, and the endpoints are
+            // bit-identical for every backend and thread count (the walks
+            // stay mutually independent — distinct streams — which is all
+            // Theorem 3 asks for).
+            let base = rng.gen::<u64>();
+            out = ctx.executor().map_indexed(n, |v| {
+                let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
+                (0..walks_per_vertex)
+                    .map(|_| direct_walk_endpoint(&lazy, v, t, &mut vrng))
+                    .collect()
+            });
         }
         WalkMode::Faithful => {
             // Keep drawing bundles; prefer certified-independent endpoints and
             // top up with uncertified ones if a vertex falls behind (the paper
             // instead repeats Θ(log n) times; the cap keeps runtime bounded).
+            // This mode consumes the master generator directly and stays
+            // sequential (it exists for analysis-scale runs and E4).
+            out = vec![Vec::with_capacity(walks_per_vertex); n];
             let max_bundles = 4 * walks_per_vertex + 8;
             let mut fallback: Vec<Vec<usize>> = vec![Vec::new(); n];
             for _ in 0..max_bundles {
@@ -320,13 +334,14 @@ pub fn randomize<R: Rng + ?Sized>(
 ) -> Result<Graph, CoreError> {
     ctx.begin_phase("randomize");
     let walks_per_vertex = (out_degree / 2).max(1);
-    let endpoints = independent_lazy_walks(g, t, walks_per_vertex, mode, copies_multiplier, ctx, rng)?;
+    let endpoints =
+        independent_lazy_walks(g, t, walks_per_vertex, mode, copies_multiplier, ctx, rng)?;
     let n = g.num_vertices();
     let mut builder = GraphBuilder::with_capacity(n, n * walks_per_vertex);
     for (v, targets) in endpoints.iter().enumerate() {
-        for &u in targets {
-            builder.add_edge(v, u).expect("walk endpoints in range");
-        }
+        builder
+            .add_edges(targets.iter().map(|&u| (v, u)))
+            .expect("walk endpoints in range");
     }
     ctx.charge_shuffle(2 * n * walks_per_vertex);
     ctx.end_phase();
@@ -396,7 +411,10 @@ mod tests {
         let empirical: Vec<f64> = counts.iter().map(|c| c / total).collect();
         let uniform = vec![1.0 / n as f64; n];
         let tvd = total_variation_distance(&empirical, &uniform);
-        assert!(tvd < 0.15, "endpoint distribution far from uniform: tvd = {tvd}");
+        assert!(
+            tvd < 0.15,
+            "endpoint distribution far from uniform: tvd = {tvd}"
+        );
     }
 
     #[test]
@@ -458,7 +476,10 @@ mod tests {
         }
         let empirical: Vec<f64> = counts.iter().map(|c| c / reps as f64).collect();
         let tvd = total_variation_distance(&empirical, &exact);
-        assert!(tvd < 0.03, "tvd between empirical and exact lazy walk: {tvd}");
+        assert!(
+            tvd < 0.03,
+            "tvd between empirical and exact lazy walk: {tvd}"
+        );
     }
 
     #[test]
@@ -471,7 +492,10 @@ mod tests {
         let h = randomize(&g, 48, 12, WalkMode::Direct, 2, &mut ctx, &mut rng).unwrap();
         assert_eq!(h.num_vertices(), g.num_vertices());
         let h_cc = connected_components(&h);
-        assert!(h_cc.same_partition(&truth), "randomized graph changed the components");
+        assert!(
+            h_cc.same_partition(&truth),
+            "randomized graph changed the components"
+        );
         assert!(ctx.stats().rounds_in_phase("randomize") >= 1);
     }
 

@@ -201,9 +201,7 @@ impl ComponentLabels {
     /// Returns `true` if `self` and `other` describe the *same partition* of
     /// the vertex set (label values are allowed to differ).
     pub fn same_partition(&self, other: &ComponentLabels) -> bool {
-        if self.labels.len() != other.labels.len()
-            || self.num_components != other.num_components
-        {
+        if self.labels.len() != other.labels.len() || self.num_components != other.num_components {
             return false;
         }
         let mut fwd = vec![usize::MAX; self.num_components];
@@ -469,9 +467,15 @@ mod tests {
     fn verify_spanning_forest_rejects_cycles_and_foreign_edges() {
         let g = two_triangles();
         // A cycle.
-        assert!(!verify_spanning_forest(&g, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]));
+        assert!(!verify_spanning_forest(
+            &g,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]
+        ));
         // An edge not in the graph.
-        assert!(!verify_spanning_forest(&g, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
+        assert!(!verify_spanning_forest(
+            &g,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        ));
         // Incomplete (does not span).
         assert!(!verify_spanning_forest(&g, &[(0, 1), (3, 4)]));
     }

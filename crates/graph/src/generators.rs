@@ -60,12 +60,11 @@ pub fn random_out_degree_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R)
 ///
 /// Panics if `d` is odd (the construction needs `d/2` whole permutations) or
 /// if `n < 2`.
-pub fn random_regular_permutation_graph<R: Rng + ?Sized>(
-    n: usize,
-    d: usize,
-    rng: &mut R,
-) -> Graph {
-    assert!(d.is_multiple_of(2), "permutation model requires even degree, got {d}");
+pub fn random_regular_permutation_graph<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(
+        d.is_multiple_of(2),
+        "permutation model requires even degree, got {d}"
+    );
     assert!(n >= 2, "permutation model requires at least 2 vertices");
     let mut builder = GraphBuilder::with_capacity(n, n * d / 2);
     let mut perm: Vec<usize> = (0..n).collect();
@@ -483,7 +482,11 @@ mod tests {
     fn permutation_graph_is_exactly_regular() {
         let mut r = rng(3);
         let g = random_regular_permutation_graph(200, 10, &mut r);
-        assert!(g.is_regular(10), "degrees: {:?}", (0..5).map(|v| g.degree(v)).collect::<Vec<_>>());
+        assert!(
+            g.is_regular(10),
+            "degrees: {:?}",
+            (0..5).map(|v| g.degree(v)).collect::<Vec<_>>()
+        );
         assert_eq!(g.num_edges(), 200 * 5);
     }
 
@@ -547,7 +550,10 @@ mod tests {
         assert_eq!(g.num_vertices(), 200);
         assert_eq!(connected_components(&g).num_components(), 1);
         let gap = spectral::spectral_gap(&g, 400);
-        assert!(gap < 0.05, "bridge graph should have a small gap, got {gap}");
+        assert!(
+            gap < 0.05,
+            "bridge graph should have a small gap, got {gap}"
+        );
     }
 
     #[test]
@@ -566,7 +572,11 @@ mod tests {
         let mut r = rng(10);
         let g = preferential_attachment(500, 2, &mut r);
         assert_eq!(connected_components(&g).num_components(), 1);
-        assert!(g.max_degree() > 10, "expected a hub, max degree {}", g.max_degree());
+        assert!(
+            g.max_degree() > 10,
+            "expected a hub, max degree {}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -300,10 +300,7 @@ impl Graph {
                 edges.push((nu, nv));
             }
         }
-        (
-            Graph::from_edges_unchecked(mapping.len(), edges),
-            mapping,
-        )
+        (Graph::from_edges_unchecked(mapping.len(), edges), mapping)
     }
 
     /// Disjoint union of `self` and `other`; vertices of `other` are shifted
@@ -407,6 +404,27 @@ impl GraphBuilder {
         Ok(())
     }
 
+    /// Adds a batch of undirected edges in one call. This is the fan-in path
+    /// of the parallel walk builders: workers produce per-vertex edge lists
+    /// and the calling thread appends them in vertex order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] on the first out-of-range
+    /// endpoint; edges before it have been added, edges after it have not.
+    pub fn add_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<(), GraphError> {
+        let iter = edges.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.edges.reserve(lower);
+        for (u, v) in iter {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
     /// Finishes the builder and produces the CSR-backed [`Graph`].
     pub fn build(self) -> Graph {
         let (offsets, adjacency) = Graph::rebuild_csr(self.num_vertices, &self.edges);
@@ -422,6 +440,18 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn add_edges_batches_match_single_adds() {
+        let mut one = GraphBuilder::new(5);
+        one.add_edge(0, 1).unwrap();
+        one.add_edge(3, 2).unwrap();
+        let mut batch = GraphBuilder::new(5);
+        batch.add_edges([(0, 1), (3, 2)]).unwrap();
+        assert_eq!(one.build().edges(), batch.build().edges());
+        let mut bad = GraphBuilder::new(5);
+        assert!(bad.add_edges([(0, 1), (9, 2)]).is_err());
+    }
 
     #[test]
     fn empty_graph_has_no_edges() {
@@ -516,13 +546,18 @@ mod tests {
     #[test]
     fn stationary_distribution_empty_graph_errors() {
         let g = Graph::empty(3);
-        assert_eq!(g.stationary_distribution().unwrap_err(), GraphError::EmptyGraph);
+        assert_eq!(
+            g.stationary_distribution().unwrap_err(),
+            GraphError::EmptyGraph
+        );
     }
 
     #[test]
     fn nth_neighbor_is_stable_and_in_bounds() {
         let g = Graph::from_edges_unchecked(4, vec![(0, 1), (0, 2), (0, 3)]);
-        let all: Vec<_> = (0..g.degree(0)).map(|i| g.nth_neighbor(0, i).unwrap()).collect();
+        let all: Vec<_> = (0..g.degree(0))
+            .map(|i| g.nth_neighbor(0, i).unwrap())
+            .collect();
         let mut sorted = all.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 2, 3]);

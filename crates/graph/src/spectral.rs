@@ -38,7 +38,13 @@ pub fn spectral_gap(g: &Graph, iterations: usize) -> f64 {
 
     // Start from a deterministic-but-generic vector orthogonal to `top`.
     let mut x: Vec<f64> = (0..n)
-        .map(|v| if deg[v] > 0.0 { ((v % 7) as f64) - 3.0 + 0.1 } else { 0.0 })
+        .map(|v| {
+            if deg[v] > 0.0 {
+                ((v % 7) as f64) - 3.0 + 0.1
+            } else {
+                0.0
+            }
+        })
         .collect();
     orthogonalize(&mut x, &top);
     if norm(&x) < 1e-12 {

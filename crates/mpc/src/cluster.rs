@@ -9,9 +9,16 @@
 //! tests of the primitives in [`crate::primitives`] validate the round
 //! accounting the higher-level algorithms charge through
 //! [`MpcContext`](crate::MpcContext).
+//!
+//! Per-machine work (local maps, shuffle routing, combiner passes, load
+//! checks) fans out through the cluster's [`Executor`]: with the threaded
+//! backend the simulated machines really do compute concurrently, while the
+//! results — tuple order, statistics, errors — stay bit-identical to the
+//! sequential backend (see the determinism contract in [`crate::executor`]).
 
 use crate::config::{MpcConfig, MpcError};
-use crate::stats::MpcContext;
+use crate::executor::Executor;
+use crate::stats::{MpcContext, WorkerStats};
 
 /// Tuples that carry an intrinsic shuffle key.
 ///
@@ -35,12 +42,15 @@ pub struct Cluster<T> {
     /// Words per tuple used for memory accounting (default 2: a key and a
     /// value word).
     words_per_tuple: usize,
+    /// Backend driving per-machine work; inherited by derived clusters.
+    executor: Executor,
 }
 
 impl<T> Cluster<T> {
     /// Distributes `tuples` round-robin across `config.num_machines` machines
     /// (the paper assumes the input is distributed adversarially but evenly;
-    /// round-robin is the even distribution with no helpful locality).
+    /// round-robin is the even distribution with no helpful locality). The
+    /// cluster adopts the execution backend selected by `config.threads`.
     pub fn from_tuples(config: &MpcConfig, tuples: Vec<T>) -> Self {
         let m = config.num_machines.max(1);
         let mut machines: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
@@ -50,6 +60,7 @@ impl<T> Cluster<T> {
         Cluster {
             machines,
             words_per_tuple: 2,
+            executor: config.executor(),
         }
     }
 
@@ -61,12 +72,25 @@ impl<T> Cluster<T> {
 
     /// Builds a cluster directly from explicit per-machine partitions.
     /// Used by the primitives in [`crate::primitives`]; not itself an MPC
-    /// operation (no rounds are charged).
+    /// operation (no rounds are charged). Runs on the sequential backend
+    /// unless [`Cluster::with_executor`] is applied.
     pub fn from_partitions(machines: Vec<Vec<T>>) -> Self {
         Cluster {
             machines,
             words_per_tuple: 2,
+            executor: Executor::sequential(),
         }
+    }
+
+    /// Overrides the execution backend driving per-machine work.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The execution backend this cluster's supersteps run on.
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Number of simulated machines.
@@ -104,47 +128,54 @@ impl<T> Cluster<T> {
         self.machines.into_iter().flatten().collect()
     }
 
-    /// Applies `f` to every tuple locally. Local computation is free in the
-    /// MPC model, so no rounds are charged.
-    pub fn map_local<U>(&self, mut f: impl FnMut(&T) -> U) -> Cluster<U> {
+    /// Applies `f` to every tuple locally, one simulated machine per work
+    /// unit. Local computation is free in the MPC model, so no rounds are
+    /// charged.
+    pub fn map_local<U, F>(&self, f: F) -> Cluster<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
         Cluster {
             machines: self
-                .machines
-                .iter()
-                .map(|m| m.iter().map(&mut f).collect())
-                .collect(),
+                .executor
+                .map_items(&self.machines, |_, m| m.iter().map(&f).collect()),
             words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
         }
     }
 
     /// Applies `f` to every tuple locally, producing zero or more outputs per
     /// input. Free, like [`Cluster::map_local`].
-    pub fn flat_map_local<U, I>(&self, mut f: impl FnMut(&T) -> I) -> Cluster<U>
+    pub fn flat_map_local<U, I, F>(&self, f: F) -> Cluster<U>
     where
+        T: Sync,
+        U: Send,
         I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Sync,
     {
         Cluster {
             machines: self
-                .machines
-                .iter()
-                .map(|m| m.iter().flat_map(&mut f).collect())
-                .collect(),
+                .executor
+                .map_items(&self.machines, |_, m| m.iter().flat_map(&f).collect()),
             words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
         }
     }
 
     /// Drops tuples not satisfying `keep`. Free (local).
-    pub fn filter_local(&self, mut keep: impl FnMut(&T) -> bool) -> Cluster<T>
+    pub fn filter_local<F>(&self, keep: F) -> Cluster<T>
     where
-        T: Clone,
+        T: Clone + Send + Sync,
+        F: Fn(&T) -> bool + Sync,
     {
         Cluster {
-            machines: self
-                .machines
-                .iter()
-                .map(|m| m.iter().filter(|t| keep(t)).cloned().collect())
-                .collect(),
+            machines: self.executor.map_items(&self.machines, |_, m| {
+                m.iter().filter(|t| keep(t)).cloned().collect()
+            }),
             words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
         }
     }
 }
@@ -155,31 +186,54 @@ impl<T: Clone> Cluster<T> {
     /// the same machine. Charges exactly one round and `len()` tuples of
     /// traffic, and enforces the per-machine memory budget on the result.
     ///
+    /// Source machines route concurrently (each worker producing its own
+    /// bucket set, merged in machine order) and destination loads are checked
+    /// through per-worker [`WorkerStats`], so the result — including which
+    /// machine a strict-mode overflow reports — is identical on every
+    /// backend.
+    ///
     /// # Errors
     ///
     /// Returns [`MpcError::MemoryExceeded`] in strict mode if any destination
     /// machine would exceed its budget.
-    pub fn shuffle_by_key(
-        &self,
-        ctx: &mut MpcContext,
-        mut key: impl FnMut(&T) -> u64,
-    ) -> Result<Cluster<T>, MpcError> {
+    pub fn shuffle_by_key<F>(&self, ctx: &mut MpcContext, key: F) -> Result<Cluster<T>, MpcError>
+    where
+        T: Send + Sync,
+        F: Fn(&T) -> u64 + Sync,
+    {
         let m = self.machines.len().max(1);
+        // Route phase: each worker covers a contiguous range of source
+        // machines and fills its own bucket set.
+        let routed: Vec<Vec<Vec<T>>> = self.executor.map_ranges(self.machines.len(), |range| {
+            let mut buckets: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
+            for machine in &self.machines[range] {
+                for t in machine {
+                    let dest = (splitmix64(key(t)) % m as u64) as usize;
+                    buckets[dest].push(t.clone());
+                }
+            }
+            buckets
+        });
+        // Fan-in in worker order reproduces the sequential tuple order.
         let mut out: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
-        for machine in &self.machines {
-            for t in machine {
-                let dest = (splitmix64(key(t)) % m as u64) as usize;
-                out[dest].push(t.clone());
+        for buckets in routed {
+            for (dest, mut bucket) in buckets.into_iter().enumerate() {
+                out[dest].append(&mut bucket);
             }
         }
         ctx.charge_shuffle(self.len() * self.words_per_tuple);
         let result = Cluster {
             machines: out,
             words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
         };
+        // Load accounting is O(machines) additions — not worth a fan-out.
+        let budget = ctx.config().memory_per_machine;
+        let mut loads = WorkerStats::new();
         for (i, machine) in result.machines.iter().enumerate() {
-            ctx.record_machine_load(i, machine.len() * self.words_per_tuple)?;
+            loads.record_machine_load(i, machine.len() * self.words_per_tuple, budget);
         }
+        ctx.absorb_workers([loads])?;
         Ok(result)
     }
 
@@ -192,30 +246,46 @@ impl<T: Clone> Cluster<T> {
     /// standard MapReduce optimisation); the shuffle therefore moves at most
     /// one partial accumulator per (machine, key) pair. Charges one round.
     ///
+    /// The combiner pass runs one simulated machine per work unit; partials
+    /// are emitted key-sorted per machine, so the returned pairs are in a
+    /// deterministic order (grouped by destination machine, first-seen order
+    /// within each group) on every backend — and, unlike the historical
+    /// implementation, run-to-run.
+    ///
     /// # Errors
     ///
     /// Returns [`MpcError::MemoryExceeded`] in strict mode if a destination
     /// machine would exceed its budget.
-    pub fn reduce_by_key<A: Clone>(
+    pub fn reduce_by_key<A, K, I, FO>(
         &self,
         ctx: &mut MpcContext,
-        mut key: impl FnMut(&T) -> u64,
-        mut init: impl FnMut(u64) -> A,
-        mut fold: impl FnMut(&mut A, &T),
+        key: K,
+        init: I,
+        fold: FO,
         mut combine: impl FnMut(&mut A, A),
-    ) -> Result<Vec<(u64, A)>, MpcError> {
+    ) -> Result<Vec<(u64, A)>, MpcError>
+    where
+        T: Sync,
+        A: Clone + Send,
+        K: Fn(&T) -> u64 + Sync,
+        I: Fn(u64) -> A + Sync,
+        FO: Fn(&mut A, &T) + Sync,
+    {
         use std::collections::HashMap;
-        // Local combiner pass (free: purely local computation).
-        let mut combined: Vec<Vec<(u64, A)>> = Vec::with_capacity(self.machines.len());
-        for machine in &self.machines {
+        // Local combiner pass (free: purely local computation), one machine
+        // per work unit. Sorting by key removes the HashMap's iteration-order
+        // nondeterminism from the output.
+        let combined: Vec<Vec<(u64, A)>> = self.executor.map_items(&self.machines, |_, machine| {
             let mut local: HashMap<u64, A> = HashMap::new();
             for t in machine {
                 let k = key(t);
                 let acc = local.entry(k).or_insert_with(|| init(k));
                 fold(acc, t);
             }
-            combined.push(local.into_iter().collect());
-        }
+            let mut pairs: Vec<(u64, A)> = local.into_iter().collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            pairs
+        });
         let total: usize = combined.iter().map(Vec::len).sum();
         ctx.charge_shuffle(total * self.words_per_tuple);
         // Route each partial to hash(key) % m and merge there.
@@ -227,17 +297,27 @@ impl<T: Clone> Cluster<T> {
                 partials[dest].push((k, a));
             }
         }
+        let budget = ctx.config().memory_per_machine;
+        let mut loads = WorkerStats::new();
         for (i, bucket) in partials.iter().enumerate() {
-            ctx.record_machine_load(i, bucket.len() * self.words_per_tuple)?;
+            loads.record_machine_load(i, bucket.len() * self.words_per_tuple, budget);
         }
+        ctx.absorb_workers([loads])?;
         let mut out = Vec::new();
         for bucket in partials {
-            let mut merged: HashMap<u64, A> = HashMap::new();
+            // First-seen order (deterministic) with O(1) expected lookups:
+            // the HashMap only indexes into the order-preserving Vec, so its
+            // iteration order never leaks into the output.
+            let mut index: HashMap<u64, usize> = HashMap::new();
+            let mut merged: Vec<(u64, A)> = Vec::new();
             for (k, a) in bucket {
-                match merged.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => combine(e.get_mut(), a),
+                match index.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        combine(&mut merged[*e.get()].1, a)
+                    }
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(a);
+                        e.insert(merged.len());
+                        merged.push((k, a));
                     }
                 }
             }
@@ -253,11 +333,7 @@ impl<T: Clone> Cluster<T> {
     /// # Errors
     ///
     /// Returns [`MpcError::MemoryExceeded`] if `words` exceeds the budget.
-    pub fn broadcast_check(
-        &self,
-        ctx: &mut MpcContext,
-        words: usize,
-    ) -> Result<(), MpcError> {
+    pub fn broadcast_check(&self, ctx: &mut MpcContext, words: usize) -> Result<(), MpcError> {
         ctx.charge_shuffle(words * self.num_machines());
         ctx.record_machine_load(0, words)
     }
@@ -282,6 +358,7 @@ mod tests {
             num_machines: 8,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         }
     }
 
@@ -316,6 +393,34 @@ mod tests {
     }
 
     #[test]
+    fn shuffle_is_bit_identical_across_backends() {
+        let tuples: Vec<(u64, u64)> = (0..500).map(|i| (i % 37, i)).collect();
+        let mut outputs = Vec::new();
+        let mut stats = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let cfg = MpcConfig::with_memory(2048, 512).with_threads(threads);
+            let mut ctx = MpcContext::new(cfg);
+            let cluster = Cluster::from_tuples(&cfg, tuples.clone());
+            let shuffled = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap();
+            let machines: Vec<Vec<(u64, u64)>> = (0..shuffled.num_machines())
+                .map(|m| shuffled.machine(m).to_vec())
+                .collect();
+            outputs.push(machines);
+            stats.push(ctx.into_stats());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "threaded(2) diverged from sequential"
+        );
+        assert_eq!(
+            outputs[0], outputs[2],
+            "threaded(8) diverged from sequential"
+        );
+        assert_eq!(stats[0], stats[1]);
+        assert_eq!(stats[0], stats[2]);
+    }
+
+    #[test]
     fn shuffle_detects_memory_overflow_on_skewed_keys() {
         // All tuples share one key, so one machine must hold everything.
         let cfg = MpcConfig {
@@ -323,12 +428,19 @@ mod tests {
             num_machines: 4,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         };
         let mut ctx = MpcContext::new(cfg);
         let tuples: Vec<(u64, u64)> = (0..100).map(|i| (7, i)).collect();
         let cluster = Cluster::from_tuples(&cfg, tuples);
         let err = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap_err();
         assert!(matches!(err, MpcError::MemoryExceeded { .. }));
+        // The threaded backend reports the same overflow.
+        let cfg4 = cfg.with_threads(4);
+        let mut ctx4 = MpcContext::new(cfg4);
+        let cluster4 = Cluster::from_tuples(&cfg4, (0..100u64).map(|i| (7u64, i)).collect());
+        let err4 = cluster4.shuffle_by_key(&mut ctx4, |t| t.0).unwrap_err();
+        assert_eq!(err, err4);
         // Permissive mode records the violation instead.
         let loose = cfg.permissive();
         let mut ctx2 = MpcContext::new(loose);
@@ -350,6 +462,25 @@ mod tests {
     }
 
     #[test]
+    fn local_ops_match_across_backends() {
+        let cfg = small_config();
+        let tuples: Vec<(u64, u64)> = (0..200).map(|i| (i % 13, i)).collect();
+        let seq = Cluster::from_tuples(&cfg, tuples.clone());
+        let par = Cluster::from_tuples(&cfg.with_threads(4), tuples);
+        let a = seq
+            .map_local(|t| (t.0, t.1 + 1))
+            .flat_map_local(|t| vec![*t, (t.0, t.1 * 2)])
+            .filter_local(|t| t.1 % 3 != 0)
+            .gather();
+        let b = par
+            .map_local(|t| (t.0, t.1 + 1))
+            .flat_map_local(|t| vec![*t, (t.0, t.1 * 2)])
+            .filter_local(|t| t.1 % 3 != 0)
+            .gather();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn flat_map_can_expand_tuples() {
         let cfg = small_config();
         let cluster = Cluster::from_tuples(&cfg, vec![(1u64, 1u64), (2, 2)]);
@@ -364,11 +495,40 @@ mod tests {
         let tuples: Vec<(u64, u64)> = (0..90).map(|i| (i % 3, 1)).collect();
         let cluster = Cluster::from_tuples(&cfg, tuples);
         let mut counts = cluster
-            .reduce_by_key(&mut ctx, |t| t.0, |_| 0u64, |acc, t| *acc += t.1, |acc, b| *acc += b)
+            .reduce_by_key(
+                &mut ctx,
+                |t| t.0,
+                |_| 0u64,
+                |acc, t| *acc += t.1,
+                |acc, b| *acc += b,
+            )
             .unwrap();
         counts.sort_unstable();
         assert_eq!(counts, vec![(0, 30), (1, 30), (2, 30)]);
         assert_eq!(ctx.stats().total_rounds(), 1);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_across_backends_without_sorting() {
+        let tuples: Vec<(u64, u64)> = (0..400).map(|i| (i % 23, 1)).collect();
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let cfg = MpcConfig::with_memory(2048, 512).with_threads(threads);
+            let mut ctx = MpcContext::new(cfg);
+            let cluster = Cluster::from_tuples(&cfg, tuples.clone());
+            let counts = cluster
+                .reduce_by_key(
+                    &mut ctx,
+                    |t| t.0,
+                    |_| 0u64,
+                    |acc, t| *acc += t.1,
+                    |acc, b| *acc += b,
+                )
+                .unwrap();
+            results.push(counts);
+        }
+        // Not merely the same multiset: the *order* must match too.
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]
@@ -380,11 +540,18 @@ mod tests {
             num_machines: 16,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         };
         let mut ctx = MpcContext::new(cfg);
         let cluster = Cluster::from_tuples(&cfg, (0..1000u64).map(|_| (5u64, 1u64)).collect());
         let counts = cluster
-            .reduce_by_key(&mut ctx, |t| t.0, |_| 0u64, |acc, t| *acc += t.1, |acc, b| *acc += b)
+            .reduce_by_key(
+                &mut ctx,
+                |t| t.0,
+                |_| 0u64,
+                |acc, t| *acc += t.1,
+                |acc, b| *acc += b,
+            )
             .unwrap();
         assert_eq!(counts, vec![(5, 1000)]);
     }

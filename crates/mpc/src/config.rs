@@ -62,6 +62,14 @@ pub struct MpcConfig {
     /// statistics as a violation but execution continues. Experiments that
     /// sweep undersized memory budgets use the permissive mode.
     pub strict_memory: bool,
+    /// Worker threads of the execution backend driving per-machine /
+    /// per-chunk work: `1` selects the sequential backend, `n > 1` the
+    /// threaded backend, and `0` means "resolve from the `WCC_THREADS`
+    /// environment variable, defaulting to sequential"
+    /// ([`Executor::resolve`](crate::Executor::resolve)). The backend choice
+    /// never changes results — see the determinism contract in
+    /// [`crate::executor`].
+    pub threads: usize,
 }
 
 impl MpcConfig {
@@ -83,6 +91,7 @@ impl MpcConfig {
             num_machines: 4 * min_machines,
             delta,
             strict_memory: true,
+            threads: 0,
         }
     }
 
@@ -95,6 +104,7 @@ impl MpcConfig {
             num_machines: 4 * input_words.div_ceil(s).max(1),
             delta: (s as f64).ln() / n.ln(),
             strict_memory: true,
+            threads: 0,
         }
     }
 
@@ -108,6 +118,18 @@ impl MpcConfig {
     pub fn with_machines(mut self, num_machines: usize) -> Self {
         self.num_machines = num_machines.max(1);
         self
+    }
+
+    /// Returns a copy using the given number of worker threads (`1` =
+    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The execution backend this configuration selects.
+    pub fn executor(&self) -> crate::Executor {
+        crate::Executor::resolve(self.threads)
     }
 
     /// Total memory across the cluster, in words.
@@ -182,6 +204,7 @@ mod tests {
             num_machines: 2,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         };
         assert!(matches!(
             c.check_feasible(100),
@@ -197,8 +220,18 @@ mod tests {
 
     #[test]
     fn permissive_and_with_machines_builders() {
-        let c = MpcConfig::for_input_size(1000, 0.5).permissive().with_machines(7);
+        let c = MpcConfig::for_input_size(1000, 0.5)
+            .permissive()
+            .with_machines(7);
         assert!(!c.strict_memory);
         assert_eq!(c.num_machines, 7);
+    }
+
+    #[test]
+    fn with_threads_selects_the_backend() {
+        let c = MpcConfig::for_input_size(1000, 0.5);
+        assert_eq!(c.threads, 0, "default resolves from the environment");
+        assert_eq!(c.with_threads(1).executor().threads(), 1);
+        assert_eq!(c.with_threads(4).executor().threads(), 4);
     }
 }

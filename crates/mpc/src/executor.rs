@@ -1,0 +1,326 @@
+//! The pluggable parallel execution backend for the simulator.
+//!
+//! Every layer of the workspace that fans work out over simulated machines,
+//! vertices, or edge chunks routes it through an [`Executor`] instead of a
+//! bare `for` loop. Two backends exist:
+//!
+//! * [`ExecutorBackend::Sequential`] — runs every unit of work inline on the
+//!   calling thread, in index order (the historical behaviour of the
+//!   simulator).
+//! * [`ExecutorBackend::Threaded`] — splits the index space into contiguous
+//!   per-worker ranges and runs them on scoped OS threads
+//!   (`std::thread::scope`; no external dependencies).
+//!
+//! **Determinism contract.** Both backends produce *bit-identical* results
+//! for the same inputs: work units are pure functions of their index (callers
+//! derive any randomness from per-index ChaCha8 streams, never from a shared
+//! generator), and results are reassembled in index order regardless of which
+//! worker computed them. Anything order-sensitive — round charges, memory
+//! accounting, error selection — happens on the calling thread after the
+//! fan-in, via [`WorkerStats`](crate::stats::WorkerStats) merges. The
+//! cross-backend determinism test in `tests/executor_determinism.rs` pins
+//! this contract down for the full pipeline.
+//!
+//! The thread count is usually carried by
+//! [`MpcConfig::threads`](crate::MpcConfig::threads); `0` means "resolve from
+//! the `WCC_THREADS` environment variable, defaulting to 1", which is how the
+//! experiment binaries are switched between backends without code changes.
+
+use std::ops::Range;
+
+/// Which execution backend an [`Executor`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorBackend {
+    /// Run all work inline on the calling thread.
+    Sequential,
+    /// Run work on up to `threads` scoped OS threads.
+    Threaded {
+        /// Maximum number of worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+/// Environment variable consulted when a thread count of `0` ("auto") is
+/// resolved: `WCC_THREADS=4` selects the threaded backend with 4 workers.
+pub const THREADS_ENV_VAR: &str = "WCC_THREADS";
+
+/// A handle to an execution backend. Cheap to copy; carries only the worker
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// The sequential backend.
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// The threaded backend with `threads` workers (1 degenerates to the
+    /// sequential backend; 0 is clamped to 1).
+    pub fn threaded(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Builds an executor from an explicit backend choice.
+    pub fn new(backend: ExecutorBackend) -> Self {
+        match backend {
+            ExecutorBackend::Sequential => Executor::sequential(),
+            ExecutorBackend::Threaded { threads } => Executor::threaded(threads),
+        }
+    }
+
+    /// Resolves a config-level thread count: `0` means "read
+    /// [`THREADS_ENV_VAR`], defaulting to 1"; any other value is used as-is.
+    pub fn resolve(threads: usize) -> Self {
+        if threads > 0 {
+            return Executor::threaded(threads);
+        }
+        Executor::from_env()
+    }
+
+    /// Reads the backend from [`THREADS_ENV_VAR`] (unset, empty or
+    /// unparseable means sequential).
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        Executor::threaded(threads)
+    }
+
+    /// Number of worker threads this executor uses (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if work runs inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// The backend this executor uses, in canonical form: one worker IS the
+    /// sequential backend, so `Threaded { threads: 1 }` deliberately reports
+    /// as `Sequential` (the enum names the two behaviours, not the
+    /// construction history). This is the extension point future backends
+    /// (async, sharded) widen.
+    pub fn backend(&self) -> ExecutorBackend {
+        if self.threads == 1 {
+            ExecutorBackend::Sequential
+        } else {
+            ExecutorBackend::Threaded {
+                threads: self.threads,
+            }
+        }
+    }
+
+    /// Minimum indices a worker must receive before [`Executor::map_indexed`]
+    /// spawns threads: fine-grained fan-outs smaller than this run inline,
+    /// because OS-thread spawn latency would dominate the per-index work.
+    /// (Purely a performance cutoff — results are identical either way.)
+    pub const MIN_INDICES_PER_WORKER: usize = 64;
+
+    /// Contiguous per-worker ranges covering `0..n` in order, engaging at
+    /// most `n / min_per_worker` workers. The split depends only on `n`, the
+    /// worker count and the floor — never on runtime timing.
+    fn worker_ranges(&self, n: usize, min_per_worker: usize) -> Vec<Range<usize>> {
+        let workers = self.threads.min(n / min_per_worker.max(1)).min(n).max(1);
+        let chunk = n.div_ceil(workers).max(1);
+        (0..workers)
+            .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the results in index
+    /// order. `f` must be a pure function of its index for the determinism
+    /// contract to hold.
+    ///
+    /// Indices are treated as fine-grained (a vertex, a query, an edge):
+    /// fan-outs with fewer than [`Executor::MIN_INDICES_PER_WORKER`] indices
+    /// per worker run inline rather than paying thread-spawn latency.
+    pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let per_worker = self.run_ranges(n, Self::MIN_INDICES_PER_WORKER, |range| {
+            range.map(&f).collect::<Vec<U>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in per_worker {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Applies `f` to every item of `items` (with its index) and returns the
+    /// results in item order.
+    pub fn map_items<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Splits `0..n` into contiguous per-worker ranges, runs `f` once per
+    /// range, and returns the per-range results in range order. This is the
+    /// primitive behind per-worker accumulators
+    /// ([`WorkerStats`](crate::stats::WorkerStats), shuffle buckets): the
+    /// caller merges the returned values in order, which is deterministic as
+    /// long as the merge is associative over adjacent ranges.
+    ///
+    /// Unlike [`Executor::map_indexed`], indices here are treated as
+    /// *coarse* units (a whole simulated machine): any `n > 1` fans out.
+    pub fn map_ranges<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> U + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads <= 1 {
+            return vec![f(0..n)];
+        }
+        self.run_ranges(n, 1, |range| f(range.start..range.end))
+    }
+
+    /// Shared scoped-thread driver: one spawned worker per non-empty range,
+    /// results joined in range order.
+    fn run_ranges<U, F>(&self, n: usize, min_per_worker: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> U + Sync,
+    {
+        let ranges = self.worker_ranges(n, min_per_worker);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || f(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::sequential()
+    }
+}
+
+/// Derives a per-stream seed from a master draw and a stream index, using the
+/// SplitMix64 finaliser twice so adjacent indices produce unrelated seeds.
+///
+/// This is the workspace-wide convention for giving every machine / vertex /
+/// chunk its own ChaCha8 stream: the caller draws `base` *once* from the
+/// master generator (advancing it by the same amount for every backend and
+/// thread count), then worker `i` seeds `ChaCha8Rng::seed_from_u64(
+/// derive_stream_seed(base, i))`.
+pub fn derive_stream_seed(base: u64, index: u64) -> u64 {
+    let mut x = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order_across_backends() {
+        let n = 1003;
+        let sequential = Executor::sequential().map_indexed(n, |i| i * i);
+        for threads in [2, 3, 8, 64] {
+            let threaded = Executor::threaded(threads).map_indexed(n, |i| i * i);
+            assert_eq!(sequential, threaded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_items_passes_indices_and_items() {
+        let items: Vec<u64> = (0..57).map(|i| i * 10).collect();
+        let out = Executor::threaded(4).map_items(&items, |i, &x| (i as u64, x));
+        assert_eq!(out.len(), 57);
+        for (i, &(idx, x)) in out.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(x, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn map_ranges_covers_the_index_space_exactly_once() {
+        for threads in [1, 2, 5, 16] {
+            let ranges = Executor::threaded(threads).map_ranges(100, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_handled() {
+        let exec = Executor::threaded(8);
+        assert!(exec.map_indexed(0, |i| i).is_empty());
+        assert_eq!(exec.map_indexed(1, |i| i), vec![0]);
+        assert!(exec.map_ranges(0, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = Executor::threaded(32).map_indexed(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn resolve_zero_reads_environment() {
+        // Can't mutate the environment safely in a test binary that runs
+        // threads, so just check explicit resolution paths.
+        assert_eq!(Executor::resolve(1).threads(), 1);
+        assert_eq!(Executor::resolve(6).threads(), 6);
+        assert!(Executor::resolve(0).threads() >= 1);
+    }
+
+    #[test]
+    fn backend_round_trips() {
+        assert_eq!(
+            Executor::new(ExecutorBackend::Sequential).backend(),
+            ExecutorBackend::Sequential
+        );
+        assert_eq!(
+            Executor::new(ExecutorBackend::Threaded { threads: 4 }).backend(),
+            ExecutorBackend::Threaded { threads: 4 }
+        );
+        assert!(Executor::threaded(1).is_sequential());
+        assert!(!Executor::threaded(2).is_sequential());
+    }
+
+    #[test]
+    fn derived_stream_seeds_are_distinct() {
+        let base = 0xDEAD_BEEF;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_stream_seed(base, i)), "collision at {i}");
+        }
+        // Different bases give different streams for the same index.
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+    }
+}

@@ -46,16 +46,19 @@
 
 pub mod cluster;
 pub mod config;
+pub mod executor;
 pub mod primitives;
 pub mod stats;
 
 pub use crate::cluster::{Cluster, KeyedTuple};
 pub use crate::config::{MpcConfig, MpcError};
-pub use crate::stats::{MpcContext, PhaseStats, RoundStats};
+pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend, THREADS_ENV_VAR};
+pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::cluster::{Cluster, KeyedTuple};
     pub use crate::config::{MpcConfig, MpcError};
-    pub use crate::stats::{MpcContext, PhaseStats, RoundStats};
+    pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend};
+    pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
 }

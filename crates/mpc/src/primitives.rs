@@ -11,7 +11,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::MpcError;
-use crate::stats::MpcContext;
+use crate::stats::{MpcContext, WorkerStats};
 
 /// Sorts all tuples of the cluster globally: after the call, machine `i`
 /// holds a contiguous run of the sorted order and runs are ordered by
@@ -21,6 +21,11 @@ use crate::stats::MpcContext;
 /// paper cites) and verifies that the balanced output respects the memory
 /// budget.
 ///
+/// On the threaded backend each simulated machine key-sorts its tuples
+/// concurrently and the runs are folded together by a stable left-preferring
+/// merge — which is exactly the order a stable sort of the concatenated
+/// machines produces, so the output is identical on every backend.
+///
 /// # Errors
 ///
 /// Returns [`MpcError::MemoryExceeded`] if an output machine would exceed its
@@ -28,35 +33,88 @@ use crate::stats::MpcContext;
 pub fn distributed_sort<T, K, F>(
     cluster: &Cluster<T>,
     ctx: &mut MpcContext,
-    mut sort_key: F,
+    sort_key: F,
 ) -> Result<Cluster<T>, MpcError>
 where
-    T: Clone,
-    K: Ord,
-    F: FnMut(&T) -> K,
+    T: Clone + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
 {
     let n = cluster.len();
     ctx.charge_sort(n);
-    let mut all: Vec<T> = Vec::with_capacity(n);
-    for m in 0..cluster.num_machines() {
-        all.extend_from_slice(cluster.machine(m));
+    let executor = cluster.executor();
+    // Per-machine local sorts, decorated with their keys (computed once, in
+    // the worker that owns the machine).
+    let mut runs: Vec<Vec<(K, T)>> = executor.map_indexed(cluster.num_machines(), |m| {
+        let mut run: Vec<(K, T)> = cluster
+            .machine(m)
+            .iter()
+            .map(|t| (sort_key(t), t.clone()))
+            .collect();
+        run.sort_by(|a, b| a.0.cmp(&b.0));
+        run
+    });
+    // Stable fold of adjacent runs (left preferred on ties) — equivalent to
+    // a stable sort of the machine-order concatenation. O(n log m) on the
+    // calling thread; the O(n log n) local sorts above carry the parallelism.
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(left) = iter.next() {
+            match iter.next() {
+                Some(right) => next.push(merge_stable(left, right)),
+                None => next.push(left),
+            }
+        }
+        runs = next;
     }
-    all.sort_by_key(|a| sort_key(a));
+    let all: Vec<T> = runs
+        .pop()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
     // Redistribute contiguous runs.
     let machines = cluster.num_machines().max(1);
     let chunk = n.div_ceil(machines).max(1);
     let mut out: Vec<Vec<T>> = Vec::with_capacity(machines);
+    let budget = ctx.config().memory_per_machine;
+    let mut loads = WorkerStats::new();
     let mut iter = all.into_iter();
     for i in 0..machines {
         let part: Vec<T> = iter.by_ref().take(chunk).collect();
-        ctx.record_machine_load(i, 2 * part.len())?;
+        loads.record_machine_load(i, 2 * part.len(), budget);
         out.push(part);
     }
-    Ok(Cluster::from_partitions(out))
+    ctx.absorb_workers([loads])?;
+    Ok(Cluster::from_partitions(out).with_executor(executor))
+}
+
+/// Stable two-way merge preferring the left run on equal keys.
+fn merge_stable<K: Ord, T>(left: Vec<(K, T)>, right: Vec<(K, T)>) -> Vec<(K, T)> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut l = left.into_iter().peekable();
+    let mut r = right.into_iter().peekable();
+    loop {
+        match (l.peek(), r.peek()) {
+            (Some(a), Some(b)) => {
+                if a.0 <= b.0 {
+                    out.push(l.next().expect("peeked"));
+                } else {
+                    out.push(r.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(l.next().expect("peeked")),
+            (None, Some(_)) => out.push(r.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 /// Parallel search (Goodrich): annotates every query key with the value
-/// stored for it in `data`, or `None` if the key is absent.
+/// stored for it in `data`, or `None` if the key is absent. Queries are
+/// answered concurrently on the context's backend.
 ///
 /// Charges `⌈log_s(|data| + |queries|)⌉` rounds.
 pub fn distributed_search<K, V>(
@@ -65,21 +123,18 @@ pub fn distributed_search<K, V>(
     ctx: &mut MpcContext,
 ) -> Vec<Option<V>>
 where
-    K: Ord + Clone,
-    V: Clone,
+    K: Ord + Clone + Sync,
+    V: Clone + Send + Sync,
 {
     ctx.charge_search(data.len(), queries.len());
     let mut sorted: Vec<(K, V)> = data.to_vec();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    queries
-        .iter()
-        .map(|q| {
-            sorted
-                .binary_search_by(|probe| probe.0.cmp(q))
-                .ok()
-                .map(|i| sorted[i].1.clone())
-        })
-        .collect()
+    ctx.executor().map_indexed(queries.len(), |i| {
+        sorted
+            .binary_search_by(|probe| probe.0.cmp(&queries[i]))
+            .ok()
+            .map(|j| sorted[j].1.clone())
+    })
 }
 
 /// Removes duplicate tuples (by a key projection) across the whole cluster.
@@ -93,14 +148,14 @@ where
 pub fn distributed_dedup<T, K, F>(
     cluster: &Cluster<T>,
     ctx: &mut MpcContext,
-    mut dedup_key: F,
+    dedup_key: F,
 ) -> Result<Cluster<T>, MpcError>
 where
-    T: Clone,
-    K: Ord + Clone,
-    F: FnMut(&T) -> K,
+    T: Clone + Send + Sync,
+    K: Ord + Clone + Send,
+    F: Fn(&T) -> K + Sync,
 {
-    let sorted = distributed_sort(cluster, ctx, &mut dedup_key)?;
+    let sorted = distributed_sort(cluster, ctx, &dedup_key)?;
     // Local dedup on each machine plus dropping a leading duplicate that
     // continues the previous machine's run (purely local + one exchanged
     // boundary tuple, which we fold into the sort's charge).
@@ -118,7 +173,7 @@ where
         }
         out.push(kept);
     }
-    Ok(Cluster::from_partitions(out))
+    Ok(Cluster::from_partitions(out).with_executor(sorted.executor()))
 }
 
 /// Counts tuples per key across the cluster. One round (combiner-based
@@ -134,8 +189,8 @@ pub fn count_by_key<T, F>(
     key: F,
 ) -> Result<Vec<(u64, u64)>, MpcError>
 where
-    T: Clone,
-    F: FnMut(&T) -> u64,
+    T: Clone + Sync,
+    F: Fn(&T) -> u64 + Sync,
 {
     cluster.reduce_by_key(ctx, key, |_| 0u64, |acc, _| *acc += 1, |acc, b| *acc += b)
 }
@@ -151,6 +206,7 @@ mod tests {
             num_machines: machines,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         }
     }
 

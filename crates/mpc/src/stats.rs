@@ -1,6 +1,14 @@
 //! Round/memory accounting: the quantities the paper's theorems bound.
+//!
+//! Accounting is strictly single-threaded: parallel workers never touch an
+//! [`MpcContext`]. Instead each worker accumulates into its own
+//! [`WorkerStats`], and the calling thread merges the per-worker accumulators
+//! *in worker order* via [`MpcContext::absorb_workers`] — so the recorded
+//! statistics (and any strict-mode memory error) are bit-identical no matter
+//! which backend ran the work or how many threads it used.
 
 use crate::config::{MpcConfig, MpcError};
+use crate::executor::Executor;
 
 use serde::{Deserialize, Serialize};
 
@@ -86,15 +94,24 @@ impl RoundStats {
 #[derive(Debug, Clone)]
 pub struct MpcContext {
     config: MpcConfig,
+    executor: Executor,
     stats: RoundStats,
     current_phase: Option<PhaseStats>,
 }
 
 impl MpcContext {
-    /// Creates a fresh context for the given cluster configuration.
+    /// Creates a fresh context for the given cluster configuration. The
+    /// context's execution backend is resolved from [`MpcConfig::threads`]
+    /// here and then pinned for the context's lifetime. (A [`Cluster`]
+    /// constructed later from the same config resolves independently at
+    /// construction time — with `threads == 0` both consult `WCC_THREADS`,
+    /// so keep the environment stable across a run.)
+    ///
+    /// [`Cluster`]: crate::Cluster
     pub fn new(config: MpcConfig) -> Self {
         MpcContext {
             config,
+            executor: config.executor(),
             stats: RoundStats::default(),
             current_phase: None,
         }
@@ -103,6 +120,12 @@ impl MpcContext {
     /// The cluster configuration.
     pub fn config(&self) -> &MpcConfig {
         &self.config
+    }
+
+    /// The execution backend algorithms should fan per-machine / per-chunk
+    /// work out through.
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Statistics accumulated so far.
@@ -189,6 +212,43 @@ impl MpcContext {
         Ok(())
     }
 
+    /// Merges per-worker accumulators, **in the order given**, into the
+    /// global statistics. Call this once after a parallel fan-out, passing
+    /// the workers' [`WorkerStats`] in worker (= index-range) order; the
+    /// result is then independent of the backend and thread count.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`MpcError::MemoryExceeded`] for the
+    /// overflowing machine with the *lowest machine index* across all
+    /// workers (a deterministic choice; the sequential backend reports the
+    /// same machine). All loads and violations are recorded before the error
+    /// is raised.
+    pub fn absorb_workers(
+        &mut self,
+        workers: impl IntoIterator<Item = WorkerStats>,
+    ) -> Result<(), MpcError> {
+        let mut merged = WorkerStats::default();
+        for w in workers {
+            merged.merge(w);
+        }
+        self.stats.max_machine_load_words = self
+            .stats
+            .max_machine_load_words
+            .max(merged.max_machine_load_words);
+        self.stats.memory_violations += merged.memory_violations;
+        if self.config.strict_memory {
+            if let Some((machine, required)) = merged.first_overflow {
+                return Err(MpcError::MemoryExceeded {
+                    machine,
+                    required,
+                    budget: self.config.memory_per_machine,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Records the load of a *balanced* distribution of `total_words` words
     /// across all machines (the common case for the algorithms in this
     /// workspace, which only ever hold evenly hashed tuples).
@@ -199,6 +259,78 @@ impl MpcContext {
     pub fn record_balanced_load(&mut self, total_words: usize) -> Result<(), MpcError> {
         let per_machine = total_words.div_ceil(self.config.num_machines.max(1));
         self.record_machine_load(0, per_machine)
+    }
+}
+
+/// A per-worker accumulator for memory accounting inside a parallel
+/// fan-out.
+///
+/// Workers cannot share the `&mut MpcContext`, so each one records the
+/// machine loads it observed into its own `WorkerStats`; the calling thread
+/// merges them in worker order with [`MpcContext::absorb_workers`]. Merging
+/// is associative (max of maxima, sum of violation counts, min-machine-index
+/// overflow), so any contiguous partition of the work produces identical
+/// merged statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    max_machine_load_words: usize,
+    memory_violations: u64,
+    /// The overflow with the lowest machine index seen so far, as
+    /// `(machine, required_words)`.
+    first_overflow: Option<(usize, usize)>,
+}
+
+impl WorkerStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        WorkerStats::default()
+    }
+
+    /// Records that `machine` holds `words` words against `budget`. Unlike
+    /// [`MpcContext::record_machine_load`] this never errors — violations
+    /// are deferred to the deterministic merge in
+    /// [`MpcContext::absorb_workers`].
+    pub fn record_machine_load(&mut self, machine: usize, words: usize, budget: usize) {
+        self.max_machine_load_words = self.max_machine_load_words.max(words);
+        if words > budget {
+            self.memory_violations += 1;
+            let better = match self.first_overflow {
+                None => true,
+                Some((m, _)) => machine < m,
+            };
+            if better {
+                self.first_overflow = Some((machine, words));
+            }
+        }
+    }
+
+    /// Largest load recorded so far, in words.
+    pub fn max_machine_load_words(&self) -> usize {
+        self.max_machine_load_words
+    }
+
+    /// Number of budget violations recorded so far.
+    pub fn memory_violations(&self) -> u64 {
+        self.memory_violations
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: WorkerStats) {
+        self.max_machine_load_words = self
+            .max_machine_load_words
+            .max(other.max_machine_load_words);
+        self.memory_violations += other.memory_violations;
+        self.first_overflow = match (self.first_overflow, other.first_overflow) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some((ma, ra)), Some((mb, rb))) => {
+                if mb < ma {
+                    Some((mb, rb))
+                } else {
+                    Some((ma, ra))
+                }
+            }
+        };
     }
 }
 
@@ -265,6 +397,7 @@ mod tests {
             num_machines: 10,
             delta: 0.5,
             strict_memory: true,
+            threads: 1,
         };
         let mut c = MpcContext::new(config);
         assert!(c.record_balanced_load(100).is_ok());
@@ -276,5 +409,48 @@ mod tests {
         let mut c = ctx(64);
         c.charge(7, 3);
         assert!(c.stats().summary().contains("7 rounds"));
+    }
+
+    #[test]
+    fn worker_stats_merge_is_order_insensitive_for_aggregates() {
+        let budget = 100;
+        let mut a = WorkerStats::new();
+        a.record_machine_load(0, 50, budget);
+        a.record_machine_load(3, 120, budget);
+        let mut b = WorkerStats::new();
+        b.record_machine_load(1, 130, budget);
+        b.record_machine_load(2, 80, budget);
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.max_machine_load_words(), 130);
+        assert_eq!(ab.memory_violations(), 2);
+    }
+
+    #[test]
+    fn absorb_workers_reports_lowest_overflowing_machine() {
+        let mut strict = ctx(100);
+        let mut w0 = WorkerStats::new();
+        w0.record_machine_load(7, 150, 100);
+        let mut w1 = WorkerStats::new();
+        w1.record_machine_load(2, 140, 100);
+        let err = strict.absorb_workers([w0.clone(), w1.clone()]).unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { machine: 2, .. }));
+        // Loads and violations were still recorded before erroring.
+        assert_eq!(strict.stats().max_machine_load_words(), 150);
+        assert_eq!(strict.stats().memory_violations(), 2);
+
+        let mut loose = MpcContext::new(MpcConfig::with_memory(1 << 16, 100).permissive());
+        assert!(loose.absorb_workers([w0, w1]).is_ok());
+        assert_eq!(loose.stats().memory_violations(), 2);
+    }
+
+    #[test]
+    fn context_exposes_the_configured_executor() {
+        let c = MpcContext::new(MpcConfig::with_memory(1 << 10, 64).with_threads(3));
+        assert_eq!(c.executor().threads(), 3);
     }
 }

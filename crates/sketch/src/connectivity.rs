@@ -88,8 +88,56 @@ impl ConnectivitySketch {
         ConnectivitySketch {
             n,
             num_phases,
-            vertices: (0..n).map(|_| VertexSketch::new(num_phases, seed)).collect(),
+            vertices: (0..n)
+                .map(|_| VertexSketch::new(num_phases, seed))
+                .collect(),
         }
+    }
+
+    /// Reassembles a sketch from per-vertex messages built independently
+    /// with [`ConnectivitySketch::vertex_sketch_for`] — the fan-in half of a
+    /// per-vertex parallel construction. Equivalent to feeding every edge
+    /// through [`ConnectivitySketch::add_edge`] (sketch updates are linear,
+    /// so per-vertex construction order cannot matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices.len() != n`.
+    pub fn from_vertex_sketches(n: usize, num_phases: usize, vertices: Vec<VertexSketch>) -> Self {
+        assert_eq!(vertices.len(), n, "one message per vertex required");
+        ConnectivitySketch {
+            n,
+            num_phases,
+            vertices,
+        }
+    }
+
+    /// Builds the message of a single vertex of an `n`-vertex graph from its
+    /// neighbour list (as stored by
+    /// [`Graph::neighbors`](wcc_graph::Graph::neighbors); self-loops are
+    /// ignored, parallel edges counted with multiplicity). A pure function
+    /// of `(v, neighbors)`, so callers can fan the per-vertex work out on
+    /// any execution backend and reassemble with
+    /// [`ConnectivitySketch::from_vertex_sketches`].
+    pub fn vertex_sketch_for(
+        n: usize,
+        num_phases: usize,
+        seed: u64,
+        v: usize,
+        neighbors: &[u32],
+    ) -> VertexSketch {
+        assert!(v < n, "vertex out of range");
+        let mut sketch = VertexSketch::new(num_phases, seed);
+        for &w in neighbors {
+            let w = w as usize;
+            if w == v {
+                continue;
+            }
+            let (a, b) = if v < w { (v, w) } else { (w, v) };
+            let idx = a as u64 * n as u64 + b as u64;
+            sketch.update(idx, if v == a { 1 } else { -1 });
+        }
+        sketch
     }
 
     /// Number of vertices.
@@ -104,7 +152,10 @@ impl ConnectivitySketch {
     }
 
     fn decode_edge(&self, index: u64) -> (usize, usize) {
-        ((index / self.n as u64) as usize, (index % self.n as u64) as usize)
+        (
+            (index / self.n as u64) as usize,
+            (index % self.n as u64) as usize,
+        )
     }
 
     /// Inserts the undirected edge `{u, v}`. Self-loops are ignored (they are
@@ -170,7 +221,9 @@ impl ConnectivitySketch {
                 let root = uf.find(v);
                 let sampler = &self.vertices[v].samplers[phase];
                 match acc.entry(root) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(sampler),
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().merge(sampler)
+                    }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(sampler.clone());
                     }
@@ -219,6 +272,23 @@ mod tests {
     }
 
     #[test]
+    fn per_vertex_construction_matches_add_edge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let g = generators::random_out_degree_graph(80, 6, &mut rng);
+        let n = g.num_vertices();
+        let (phases, seed) = (20, 99);
+        let mut incremental = ConnectivitySketch::with_phases(n, phases, seed);
+        for (u, v) in g.edge_iter() {
+            incremental.add_edge(u, v);
+        }
+        let messages: Vec<VertexSketch> = (0..n)
+            .map(|v| ConnectivitySketch::vertex_sketch_for(n, phases, seed, v, g.neighbors(v)))
+            .collect();
+        let assembled = ConnectivitySketch::from_vertex_sketches(n, phases, messages);
+        assert_eq!(incremental, assembled);
+    }
+
+    #[test]
     fn empty_graph_has_all_singletons() {
         let g = Graph::empty(10);
         let labels = sketch_components(&g, 1);
@@ -233,7 +303,8 @@ mod tests {
 
     #[test]
     fn two_cliques_stay_separate() {
-        let (g, _) = generators::disjoint_union_of(&[generators::complete(8), generators::complete(9)]);
+        let (g, _) =
+            generators::disjoint_union_of(&[generators::complete(8), generators::complete(9)]);
         let truth = connected_components(&g);
         let got = sketch_components(&g, 3);
         assert!(got.same_partition(&truth));

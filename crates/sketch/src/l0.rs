@@ -69,7 +69,10 @@ impl L0Sampler {
     ///
     /// Panics if the samplers were created with different seeds.
     pub fn merge(&mut self, other: &L0Sampler) {
-        assert_eq!(self.seed, other.seed, "cannot merge samplers with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge samplers with different seeds"
+        );
         for (a, b) in self.levels.iter_mut().zip(other.levels.iter()) {
             a.merge(b);
         }
@@ -141,7 +144,10 @@ mod tests {
             }
             if let Some((idx, w)) = s.sample() {
                 successes += 1;
-                assert!(coord_set.contains(&idx), "sampled a phantom coordinate {idx}");
+                assert!(
+                    coord_set.contains(&idx),
+                    "sampled a phantom coordinate {idx}"
+                );
                 assert_eq!(w, 1);
             }
         }

@@ -56,7 +56,11 @@ fn main() -> Result<(), CoreError> {
     for phase in &result.report.grow_phases {
         println!(
             "  growth phase {}: {} parts -> {} parts (median part size {}, max {})",
-            phase.phase, phase.parts_before, phase.parts_after, phase.median_part_size, phase.max_part_size
+            phase.phase,
+            phase.parts_before,
+            phase.parts_after,
+            phase.median_part_size,
+            phase.max_part_size
         );
     }
     println!("resource usage: {}", result.stats.summary());

@@ -64,7 +64,10 @@ fn main() -> Result<(), CoreError> {
         s.sort_unstable_by(|a, b| b.cmp(a));
         s
     };
-    println!("community sizes (largest first): {:?}", &sizes[..sizes.len().min(8)]);
+    println!(
+        "community sizes (largest first): {:?}",
+        &sizes[..sizes.len().min(8)]
+    );
 
     assert!(result
         .components

@@ -29,7 +29,10 @@ fn main() -> Result<(), wcc_core::CoreError> {
         truth.num_components()
     );
     println!();
-    println!("{:>10} {:>10} {:>12} {:>14} {:>8}", "memory s", "degree d", "walk length", "super-vertices", "rounds");
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>8}",
+        "memory s", "degree d", "walk length", "super-vertices", "rounds"
+    );
 
     for s in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let result = sublinear_components(&g, s, &SublinearParams::laptop_scale(), 5)?;

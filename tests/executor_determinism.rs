@@ -1,0 +1,112 @@
+//! Cross-backend determinism: the threaded executor must be *bit-identical*
+//! to the sequential one.
+//!
+//! This is the contract that makes the backend pluggable at all (DESIGN.md,
+//! "The executor seam"): every source of randomness is a per-vertex/chunk
+//! ChaCha8 stream derived from the master seed, results are reassembled in
+//! index order, and statistics merge through ordered `WorkerStats` — so the
+//! output labels, round counts, communication words and per-phase breakdowns
+//! may not depend on the thread count in any way. Here we pin that down for
+//! the two end-to-end entry points across 1/2/8 threads, three seeds and
+//! three graph families.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wcc_core::pipeline::{adaptive_components, well_connected_components};
+use wcc_core::Params;
+use wcc_graph::generators::GraphFamily;
+use wcc_graph::Graph;
+
+const THREADED: [usize; 2] = [2, 8];
+const SEEDS: [u64; 3] = [3, 11, 29];
+
+fn families() -> Vec<(GraphFamily, f64)> {
+    vec![
+        (GraphFamily::Expander { degree: 8 }, 0.3),
+        (
+            GraphFamily::PlantedExpanders {
+                num_components: 3,
+                degree: 8,
+            },
+            0.3,
+        ),
+        (GraphFamily::RingOfCliques { clique_size: 10 }, 0.15),
+    ]
+}
+
+fn instance(family: &GraphFamily, index: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(9000 + index);
+    family.generate(140, &mut rng)
+}
+
+#[test]
+fn well_connected_components_is_bit_identical_across_thread_counts() {
+    for (fi, (family, lambda)) in families().into_iter().enumerate() {
+        let g = instance(&family, fi as u64);
+        for seed in SEEDS {
+            let baseline =
+                well_connected_components(&g, lambda, &Params::test_scale().with_threads(1), seed)
+                    .expect("sequential run succeeds");
+            for threads in THREADED {
+                let run = well_connected_components(
+                    &g,
+                    lambda,
+                    &Params::test_scale().with_threads(threads),
+                    seed,
+                )
+                .expect("threaded run succeeds");
+                assert_eq!(
+                    baseline.components, run.components,
+                    "labels diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.stats, run.stats,
+                    "RoundStats diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.report.walk_length, run.report.walk_length,
+                    "walk length diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.report.bfs_levels, run.report.bfs_levels,
+                    "endgame depth diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_components_is_bit_identical_across_thread_counts() {
+    // The adaptive loop re-runs the pipeline once per gap-guess level, so
+    // keep this to the two expander families (the ring would descend many
+    // levels and multiply the runtime without exercising new code paths).
+    for (fi, (family, _)) in families().into_iter().take(2).enumerate() {
+        let g = instance(&family, 100 + fi as u64);
+        for seed in SEEDS {
+            let baseline = adaptive_components(&g, &Params::test_scale().with_threads(1), seed)
+                .expect("sequential run succeeds");
+            for threads in THREADED {
+                let run =
+                    adaptive_components(&g, &Params::test_scale().with_threads(threads), seed)
+                        .expect("threaded run succeeds");
+                assert_eq!(
+                    baseline.components, run.components,
+                    "labels diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.stats, run.stats,
+                    "RoundStats diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.lambda_levels, run.lambda_levels,
+                    "gap-guess schedule diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    baseline.rounds_per_level, run.rounds_per_level,
+                    "per-level rounds diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}

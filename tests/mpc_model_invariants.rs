@@ -18,6 +18,7 @@ fn strict_memory_mode_rejects_undersized_clusters() {
         num_machines: 2,
         delta: 0.5,
         strict_memory: true,
+        threads: 1,
     };
     assert!(config.check_feasible(1000).is_err());
     let mut ctx = MpcContext::new(config);

@@ -82,7 +82,12 @@ fn sublinear_matches_ground_truth_on_the_whole_zoo() {
 fn all_baselines_match_ground_truth_on_the_whole_zoo() {
     for (name, g) in zoo(4) {
         let truth = connected_components(&g);
-        for baseline in ["min-label", "hash-to-min", "random-mate", "shiloach-vishkin"] {
+        for baseline in [
+            "min-label",
+            "hash-to-min",
+            "random-mate",
+            "shiloach-vishkin",
+        ] {
             let mut ctx = MpcContext::new(
                 MpcConfig::for_input_size(2 * g.num_edges() + g.num_vertices(), 0.5).permissive(),
             );

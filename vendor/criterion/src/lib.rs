@@ -74,9 +74,12 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&id.to_string(), self.sample_size, self.measurement_time, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
         self
     }
 

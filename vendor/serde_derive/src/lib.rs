@@ -12,10 +12,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 enum VariantKind {
@@ -95,7 +106,10 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
     while i < tokens.len() {
         i = skip_vis(tokens, skip_attrs(tokens, i));
         let TokenTree::Ident(field) = &tokens[i] else {
-            panic!("serde_derive shim: expected field name, got {:?}", tokens[i]);
+            panic!(
+                "serde_derive shim: expected field name, got {:?}",
+                tokens[i]
+            );
         };
         fields.push(field.to_string());
         i += 1; // field name
@@ -133,14 +147,19 @@ fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
             break;
         }
         let TokenTree::Ident(name) = &tokens[i] else {
-            panic!("serde_derive shim: expected variant name, got {:?}", tokens[i]);
+            panic!(
+                "serde_derive shim: expected variant name, got {:?}",
+                tokens[i]
+            );
         };
         let name = name.to_string();
         i += 1;
         let kind = match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 i += 1;
-                VariantKind::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                VariantKind::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 i += 1;
@@ -159,7 +178,10 @@ fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
     let TokenTree::Ident(kw) = &tokens[i] else {
-        panic!("serde_derive shim: expected struct/enum keyword, got {:?}", tokens[i]);
+        panic!(
+            "serde_derive shim: expected struct/enum keyword, got {:?}",
+            tokens[i]
+        );
     };
     let kw = kw.to_string();
     i += 1;
@@ -218,7 +240,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { fields, .. } => object_literal(
             &fields
                 .iter()
-                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})")))
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
                 .collect::<Vec<_>>(),
         ),
         Item::TupleStruct { arity, .. } => {
@@ -251,13 +278,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             let payload = if *arity == 1 {
                                 values[0].clone()
                             } else {
-                                format!(
-                                    "::serde::Value::Array(::std::vec![{}])",
-                                    values.join(", ")
-                                )
+                                format!("::serde::Value::Array(::std::vec![{}])", values.join(", "))
                             };
-                            let tagged =
-                                object_literal(&[(vname.clone(), payload)]);
+                            let tagged = object_literal(&[(vname.clone(), payload)]);
                             format!("{name}::{vname}({}) => {tagged},", binders.join(", "))
                         }
                         VariantKind::Named(fields) => {
@@ -270,10 +293,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                                     .collect::<Vec<_>>(),
                             );
                             let tagged = object_literal(&[(vname.clone(), payload)]);
-                            format!(
-                                "{name}::{vname} {{ {} }} => {tagged},",
-                                fields.join(", ")
-                            )
+                            format!("{name}::{vname} {{ {} }} => {tagged},", fields.join(", "))
                         }
                     }
                 })

@@ -3,8 +3,8 @@
 //! tree. Output is real JSON (RFC 8259): string escapes, `null` for
 //! non-finite floats, two-space pretty indentation like upstream.
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization error. The shim's value tree can always be rendered, so this
 /// is never constructed today; it exists so call sites keep the upstream
@@ -53,19 +53,22 @@ fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) 
             }
         }
         Value::String(s) => write_json_string(out, s),
-        Value::Array(items) =>
-            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, item, ind, d| {
-                write_value(o, item, ind, d)
-            }),
-        Value::Object(entries) =>
-            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, val), ind, d| {
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), write_value),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, val), ind, d| {
                 write_json_string(o, k);
                 o.push(':');
                 if ind.is_some() {
                     o.push(' ');
                 }
                 write_value(o, val, ind, d);
-            }),
+            },
+        ),
     }
 }
 
