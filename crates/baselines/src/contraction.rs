@@ -62,12 +62,17 @@ pub fn random_mate_contraction(g: &Graph, ctx: &mut MpcContext, seed: u64) -> Co
                 uf.union(v, *t);
             }
         }
-        // Re-contract the edge list and drop internal edges.
-        edges = edges
-            .iter()
-            .map(|&(u, v)| (uf.find(u), uf.find(v)))
-            .filter(|&(u, v)| u != v)
-            .collect();
+        // Re-contract the edge list and drop internal edges. The relabelling
+        // is a pure per-edge map over a post-union root snapshot, so it fans
+        // out over contiguous edge chunks on the backend into one flat list.
+        let new_roots: Vec<usize> = (0..n).map(|v| uf.find(v)).collect();
+        edges = ctx.executor().flat_map_ranges(edges.len(), |range| {
+            edges[range]
+                .iter()
+                .map(|&(u, v)| (new_roots[u], new_roots[v]))
+                .filter(|&(u, v)| u != v)
+                .collect()
+        });
         edges.sort_unstable();
         edges.dedup();
     }

@@ -4,11 +4,14 @@
 //! USAGE:
 //!   wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]
 //!                        [--lambda <gap>] [--memory <words>] [--seed <u64>]
-//!                        [--threads <n>] [--sizes]
+//!                        [--threads <n>] [--sizes] [--json]
 //!
 //! The edge-list format is one `u v` pair per line; `#`/`%` lines are comments.
 //! Prints the number of components, the simulated MPC rounds, and (with
-//! --sizes) the component size histogram.
+//! --sizes) the component size histogram. With --json, prints a single
+//! machine-readable result record on stdout instead (the `exp_*` binaries
+//! and external scripts consume this rather than scraping the human
+//! output).
 //! ```
 //!
 //! Example:
@@ -17,12 +20,14 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use serde::Serialize;
 use wcc_baselines::run_baseline;
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{MpcConfig, MpcContext};
+use wcc_mpc::{MpcConfig, MpcContext, RoundStats};
 
 struct Options {
     path: String,
@@ -33,6 +38,32 @@ struct Options {
     /// Execution-backend worker threads (0 = resolve from WCC_THREADS).
     threads: usize,
     show_sizes: bool,
+    json: bool,
+}
+
+/// The machine-readable record emitted by `--json`: everything the
+/// experiment harness needs, in one line of JSON on stdout.
+#[derive(Serialize)]
+struct JsonReport {
+    algorithm: String,
+    input: String,
+    vertices: usize,
+    edges: usize,
+    seed: u64,
+    components: usize,
+    /// Simulated MPC rounds; absent for the sequential reference.
+    total_rounds: Option<u64>,
+    /// Words of cross-machine communication; absent for the sequential
+    /// reference.
+    communication_words: Option<u64>,
+    /// Largest simulated per-machine load, in words.
+    max_machine_load_words: Option<usize>,
+    /// Memory-budget violations recorded in permissive mode.
+    memory_violations: Option<u64>,
+    /// Wall-clock time of the algorithm run, in milliseconds.
+    wall_time_ms: f64,
+    /// Component size histogram (descending); `null` unless `--sizes`.
+    component_sizes: Option<Vec<usize>>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 7,
         threads: 0,
         show_sizes: false,
+        json: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,6 +112,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--sizes" => opts.show_sizes = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => return Err("help".to_string()),
             other if opts.path.is_empty() && !other.starts_with('-') => {
                 opts.path = other.to_string();
@@ -97,7 +130,7 @@ fn usage() {
     eprintln!(
         "usage: wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]\n\
          \x20          [--lambda <gap>] [--memory <words>] [--seed <u64>]\n\
-         \x20          [--threads <n>] [--sizes]"
+         \x20          [--threads <n>] [--sizes] [--json]"
     );
 }
 
@@ -120,21 +153,24 @@ fn main() -> ExitCode {
         }
     };
     let g = loaded.graph;
-    println!(
-        "loaded {}: {} vertices, {} edges",
-        opts.path,
-        g.num_vertices(),
-        g.num_edges()
-    );
+    if !opts.json {
+        println!(
+            "loaded {}: {} vertices, {} edges",
+            opts.path,
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
 
-    let (labels, rounds) = match opts.algorithm.as_str() {
+    let started = Instant::now();
+    let (labels, stats): (ComponentLabels, Option<RoundStats>) = match opts.algorithm.as_str() {
         "wcc" => match well_connected_components(
             &g,
             opts.lambda,
             &Params::laptop_scale().with_threads(opts.threads),
             opts.seed,
         ) {
-            Ok(r) => (r.components, Some(r.stats.total_rounds())),
+            Ok(r) => (r.components, Some(r.stats)),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -145,7 +181,7 @@ fn main() -> ExitCode {
             &Params::laptop_scale().with_threads(opts.threads),
             opts.seed,
         ) {
-            Ok(r) => (r.components, Some(r.stats.total_rounds())),
+            Ok(r) => (r.components, Some(r.stats)),
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -163,7 +199,7 @@ fn main() -> ExitCode {
                 &SublinearParams::laptop_scale().with_threads(opts.threads),
                 opts.seed,
             ) {
-                Ok(r) => (r.components, Some(r.stats.total_rounds())),
+                Ok(r) => (r.components, Some(r.stats)),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
@@ -177,7 +213,7 @@ fn main() -> ExitCode {
                     .with_threads(opts.threads),
             );
             let r = run_baseline("hash-to-min", &g, &mut ctx, opts.seed);
-            (r.labels, Some(r.rounds))
+            (r.labels, Some(ctx.into_stats()))
         }
         "union-find" => (wcc_baselines::sequential_components(&g), None),
         other => {
@@ -186,15 +222,45 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let sizes = opts.show_sizes.then(|| {
+        let mut sizes = labels.component_sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    });
+
+    if opts.json {
+        let report = JsonReport {
+            algorithm: opts.algorithm.clone(),
+            input: opts.path.clone(),
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            seed: opts.seed,
+            components: labels.num_components(),
+            total_rounds: stats.as_ref().map(RoundStats::total_rounds),
+            communication_words: stats.as_ref().map(RoundStats::total_communication_words),
+            max_machine_load_words: stats.as_ref().map(RoundStats::max_machine_load_words),
+            memory_violations: stats.as_ref().map(RoundStats::memory_violations),
+            wall_time_ms,
+            component_sizes: sizes,
+        };
+        match serde_json::to_string(&report) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize result: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     println!("components: {}", labels.num_components());
-    match rounds {
+    match stats.as_ref().map(RoundStats::total_rounds) {
         Some(r) => println!("simulated MPC rounds: {r}"),
         None => println!("simulated MPC rounds: n/a (sequential reference)"),
     }
-    if opts.show_sizes {
-        let mut sizes = labels.component_sizes();
-        sizes.sort_unstable_by(|a, b| b.cmp(a));
+    if let Some(sizes) = sizes {
         println!(
             "largest component sizes: {:?}",
             &sizes[..sizes.len().min(20)]

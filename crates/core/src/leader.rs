@@ -116,12 +116,13 @@ pub fn leader_election<R: Rng + ?Sized>(
 ///
 /// Charges one sort over the edge list (contract + dedup). The per-edge
 /// relabelling fans out over contiguous edge chunks on the context's
-/// backend; the sort + dedup that follows erases the (already identical)
-/// chunk order.
+/// backend into one flat, pre-sized edge list (no per-chunk vectors to
+/// re-flatten); the sort + dedup that follows erases the (already
+/// identical) chunk order.
 pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext) -> Graph {
     ctx.charge_sort(g.num_edges().max(1));
     let raw = g.edges();
-    let mapped: Vec<Vec<(usize, usize)>> = ctx.executor().map_ranges(raw.len(), |range| {
+    let mut edges: Vec<(usize, usize)> = ctx.executor().flat_map_ranges(raw.len(), |range| {
         raw[range]
             .iter()
             .map(|&(u, v)| {
@@ -135,7 +136,6 @@ pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext)
             .filter(|&(a, b)| a != b)
             .collect()
     });
-    let mut edges: Vec<(usize, usize)> = mapped.into_iter().flatten().collect();
     edges.sort_unstable();
     edges.dedup();
     Graph::from_edges_unchecked(partition.num_parts(), edges)
@@ -322,8 +322,16 @@ pub fn components_of_random_union<R: Rng + ?Sized>(
 
 /// Disjoint-edge-set union of batches sharing a vertex set.
 pub fn union_of(batches: &[Graph]) -> Graph {
-    let n = batches.first().map_or(0, Graph::num_vertices);
-    let mut builder = GraphBuilder::new(n);
+    union_of_refs(&batches.iter().collect::<Vec<_>>())
+}
+
+/// Like [`union_of`] but over borrowed graphs, so callers can union batches
+/// with another graph (the pipeline's exact endgame adds the regularized
+/// graph itself) without cloning anything.
+pub fn union_of_refs(batches: &[&Graph]) -> Graph {
+    let n = batches.first().map_or(0, |g| g.num_vertices());
+    let total_edges: usize = batches.iter().map(|g| g.num_edges()).sum();
+    let mut builder = GraphBuilder::with_capacity(n, total_edges);
     for b in batches {
         for (u, v) in b.edge_iter() {
             builder.add_edge(u, v).expect("batch edges in range");

@@ -21,7 +21,7 @@
 //! algorithm whose output may still be a refinement; Corollary 7.1's adaptive
 //! loop ([`adaptive_components`]) is built from it.
 
-use crate::leader::{finish_with_bfs, grow_components, union_of, GrowPhaseStats};
+use crate::leader::{finish_with_bfs, grow_components, union_of, union_of_refs, GrowPhaseStats};
 use crate::params::Params;
 use crate::regularize::{regularize, CoreError};
 use crate::walks::{randomize, WalkMode};
@@ -220,9 +220,11 @@ fn run_pipeline(
     // is the true component partition regardless of how well the randomized
     // batches mixed.
     let endgame_graph = if exact_endgame {
-        let mut all = batches;
-        all.push(reg.graph.clone());
-        union_of(&all)
+        // Borrow the batches and the regularized graph instead of cloning the
+        // latter into a temporary vector: the union copies each edge once.
+        let mut refs: Vec<&Graph> = batches.iter().collect();
+        refs.push(&reg.graph);
+        union_of_refs(&refs)
     } else {
         union_of(&batches)
     };

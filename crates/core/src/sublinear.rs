@@ -164,18 +164,26 @@ pub fn sublinear_components(
     ctx.charge(1 + 2 * log_t, (n as u64) * (t.min(1 << 20) as u64));
     // Per-vertex fan-out on the execution backend: every vertex walks on its
     // own ChaCha8 stream derived from one master draw, so the densified
-    // graph is identical for every backend and thread count.
+    // graph is identical for every backend and thread count. Each worker
+    // emits its range's densification edges straight into one flat pair
+    // list (no per-vertex visit vectors survive the fan-out).
     let walk_base = rng.gen::<u64>();
-    let visits: Vec<Vec<usize>> = ctx.executor().map_indexed(n, |v| {
-        let mut vrng = ChaCha8Rng::seed_from_u64(wcc_mpc::derive_stream_seed(walk_base, v as u64));
-        direct_walk_visits(g, v, t, &mut vrng)
+    let pairs: Vec<(usize, usize)> = ctx.executor().flat_map_ranges(n, |range| {
+        let mut out = Vec::new();
+        for v in range {
+            let mut vrng =
+                ChaCha8Rng::seed_from_u64(wcc_mpc::derive_stream_seed(walk_base, v as u64));
+            out.extend(
+                direct_walk_visits(g, v, t, &mut vrng)
+                    .into_iter()
+                    .filter(|&u| u != v)
+                    .map(|u| (v, u)),
+            );
+        }
+        out
     });
-    let mut builder = GraphBuilder::new(n);
-    for (v, reached) in visits.iter().enumerate() {
-        builder
-            .add_edges(reached.iter().filter(|&&u| u != v).map(|&u| (v, u)))
-            .expect("walk stays in range");
-    }
+    let mut builder = GraphBuilder::with_capacity(n, pairs.len());
+    builder.add_edges(pairs).expect("walk stays in range");
     let densified = builder.build();
     ctx.end_phase();
 

@@ -230,6 +230,12 @@ pub fn direct_walk_visits<R: Rng + ?Sized>(
 /// for every vertex of the Δ-regular graph `g`, charging the `O(log t)` MPC
 /// rounds of the theorem (parallel repetitions cost machines, not rounds).
 ///
+/// The endpoints come back as one **flat arena** of `n × walks_per_vertex`
+/// entries, vertex-major: vertex `v`'s endpoints occupy
+/// `result[v * walks_per_vertex..(v + 1) * walks_per_vertex]` (iterate with
+/// `chunks_exact(walks_per_vertex)`). One allocation for the whole fan-out
+/// instead of one small vector per vertex — this is the pipeline's hot path.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::BadParams`] if `g` is not regular (the guarantee of
@@ -243,7 +249,7 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
     copies_multiplier: usize,
     ctx: &mut MpcContext,
     rng: &mut R,
-) -> Result<Vec<Vec<usize>>, CoreError> {
+) -> Result<Vec<usize>, CoreError> {
     let n = g.num_vertices();
     let delta = g.max_degree();
     if !g.is_regular(delta) || delta == 0 {
@@ -257,7 +263,10 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
     ctx.charge(walk_rounds(t), (n * t.max(1)) as u64);
     ctx.record_balanced_load(n.saturating_mul(t.max(1)).saturating_mul(2))?;
 
-    let mut out: Vec<Vec<usize>>;
+    let k = walks_per_vertex;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
     match mode {
         WalkMode::Direct => {
             // The per-vertex fan-out is the pipeline's hot path: every vertex
@@ -266,14 +275,27 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             // advances by exactly one word, and the endpoints are
             // bit-identical for every backend and thread count (the walks
             // stay mutually independent — distinct streams — which is all
-            // Theorem 3 asks for).
+            // Theorem 3 asks for). Workers fill disjoint vertex-aligned
+            // chunks of the flat endpoint arena in place.
             let base = rng.gen::<u64>();
-            out = ctx.executor().map_indexed(n, |v| {
-                let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
-                (0..walks_per_vertex)
-                    .map(|_| direct_walk_endpoint(&lazy, v, t, &mut vrng))
-                    .collect()
+            let executor = ctx.executor();
+            let mut flat = vec![0usize; n * k];
+            let vertex_spans = executor.element_spans(n);
+            let ranges: Vec<std::ops::Range<usize>> = vertex_spans
+                .iter()
+                .map(|r| r.start * k..r.end * k)
+                .collect();
+            executor.map_slices_mut(&mut flat, &ranges, |w, chunk| {
+                let first_vertex = vertex_spans[w].start;
+                for (j, slots) in chunk.chunks_exact_mut(k).enumerate() {
+                    let v = first_vertex + j;
+                    let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
+                    for slot in slots {
+                        *slot = direct_walk_endpoint(&lazy, v, t, &mut vrng);
+                    }
+                }
             });
+            Ok(flat)
         }
         WalkMode::Faithful => {
             // Keep drawing bundles; prefer certified-independent endpoints and
@@ -281,16 +303,16 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             // instead repeats Θ(log n) times; the cap keeps runtime bounded).
             // This mode consumes the master generator directly and stays
             // sequential (it exists for analysis-scale runs and E4).
-            out = vec![Vec::with_capacity(walks_per_vertex); n];
-            let max_bundles = 4 * walks_per_vertex + 8;
+            let mut out: Vec<Vec<usize>> = vec![Vec::with_capacity(k); n];
+            let max_bundles = 4 * k + 8;
             let mut fallback: Vec<Vec<usize>> = vec![Vec::new(); n];
             for _ in 0..max_bundles {
-                if out.iter().all(|w| w.len() >= walks_per_vertex) {
+                if out.iter().all(|w| w.len() >= k) {
                     break;
                 }
                 let bundle = layered_walk_bundle(&lazy, t, copies_multiplier, rng);
                 for v in 0..n {
-                    if out[v].len() < walks_per_vertex {
+                    if out[v].len() < k {
                         if bundle.independent[v] {
                             out[v].push(bundle.targets[v]);
                         } else {
@@ -300,16 +322,16 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
                 }
             }
             for v in 0..n {
-                while out[v].len() < walks_per_vertex {
+                while out[v].len() < k {
                     match fallback[v].pop() {
                         Some(target) => out[v].push(target),
                         None => out[v].push(direct_walk_endpoint(&lazy, v, t, rng)),
                     }
                 }
             }
+            Ok(out.into_iter().flatten().collect())
         }
     }
-    Ok(out)
 }
 
 /// Step 2 of the pipeline: Lemma 5.1.
@@ -338,7 +360,7 @@ pub fn randomize<R: Rng + ?Sized>(
         independent_lazy_walks(g, t, walks_per_vertex, mode, copies_multiplier, ctx, rng)?;
     let n = g.num_vertices();
     let mut builder = GraphBuilder::with_capacity(n, n * walks_per_vertex);
-    for (v, targets) in endpoints.iter().enumerate() {
+    for (v, targets) in endpoints.chunks_exact(walks_per_vertex).enumerate() {
         builder
             .add_edges(targets.iter().map(|&u| (v, u)))
             .expect("walk endpoints in range");

@@ -63,11 +63,42 @@ pub struct LoadedGraph {
 /// Returns [`IoError::Parse`] on a malformed line and [`IoError::Io`] on read
 /// failures.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
-    let mut id_map: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-    let mut original_ids: Vec<u64> = Vec::new();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    read_edge_list_sized(reader, 0)
+}
+
+/// Like [`read_edge_list`] but with a size hint (the input's length in
+/// bytes, if known) used to pre-size the interner and the edge list: a data
+/// line is at least ~8 bytes ("`u v\n`" with multi-digit ids), so the hint
+/// bounds the allocation growth without overshooting much. A hint of `0`
+/// means "unknown".
+///
+/// # Errors
+///
+/// See [`read_edge_list`].
+pub fn read_edge_list_sized<R: BufRead>(
+    mut reader: R,
+    size_hint_bytes: u64,
+) -> Result<LoadedGraph, IoError> {
+    // One reusable line buffer: `BufRead::lines()` would allocate a fresh
+    // `String` per line, which dominates ingestion on large edge lists.
+    let approx_edges = (size_hint_bytes / 8) as usize;
+    // Vertex-side structures get a much smaller hint: real edge lists have
+    // far fewer distinct vertices than edges, and `original_ids` survives
+    // inside the returned `LoadedGraph`, so overshooting there would pin
+    // unused capacity for the graph's whole lifetime.
+    let approx_vertices = approx_edges / 8;
+    let mut id_map: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::with_capacity(approx_vertices.min(1 << 22));
+    let mut original_ids: Vec<u64> = Vec::with_capacity(approx_vertices.min(1 << 22));
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(approx_edges.min(1 << 24));
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
@@ -88,30 +119,30 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
             }
             _ => {
                 return Err(IoError::Parse {
-                    line: lineno + 1,
+                    line: lineno,
                     content: trimmed.to_string(),
                 })
             }
         }
     }
     let mut builder = GraphBuilder::with_capacity(original_ids.len(), edges.len());
-    for (u, v) in edges {
-        builder.add_edge(u, v).expect("interned ids are in range");
-    }
+    builder.add_edges(edges).expect("interned ids are in range");
     Ok(LoadedGraph {
         graph: builder.build(),
         original_ids,
     })
 }
 
-/// Reads an edge list from a file path.
+/// Reads an edge list from a file path, pre-sizing buffers from the file's
+/// length.
 ///
 /// # Errors
 ///
 /// See [`read_edge_list`].
 pub fn read_edge_list_file(path: &std::path::Path) -> Result<LoadedGraph, IoError> {
     let file = std::fs::File::open(path)?;
-    read_edge_list(std::io::BufReader::new(file))
+    let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+    read_edge_list_sized(std::io::BufReader::new(file), size)
 }
 
 /// Writes a graph as an edge list (one `u v` pair per line, with a comment
@@ -162,6 +193,19 @@ mod tests {
         assert_eq!(loaded.graph.num_edges(), 3);
         assert_eq!(loaded.original_ids, vec![10, 20, 30, 40]);
         assert_eq!(connected_components(&loaded.graph).num_components(), 1);
+    }
+
+    #[test]
+    fn sized_reader_matches_unsized_reader() {
+        let g = generators::ring_of_cliques(3, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let plain = read_edge_list(std::io::Cursor::new(buf.clone())).unwrap();
+        let sized =
+            read_edge_list_sized(std::io::Cursor::new(buf.clone()), buf.len() as u64).unwrap();
+        assert_eq!(plain.original_ids, sized.original_ids);
+        assert_eq!(plain.graph.num_vertices(), sized.graph.num_vertices());
+        assert_eq!(plain.graph.num_edges(), sized.graph.num_edges());
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod spectral;
 
 pub use crate::components::{connected_components, ComponentLabels, UnionFind};
 pub use crate::graph::{Graph, GraphBuilder, GraphError};
-pub use crate::io::{read_edge_list, read_edge_list_file, write_edge_list, LoadedGraph};
+pub use crate::io::{
+    read_edge_list, read_edge_list_file, read_edge_list_sized, write_edge_list, LoadedGraph,
+};
 pub use crate::partition::Partition;
 
 /// Convenient glob-import of the most commonly used items.
@@ -43,7 +45,9 @@ pub mod prelude {
     pub use crate::components::{self, connected_components, ComponentLabels, UnionFind};
     pub use crate::generators;
     pub use crate::graph::{Graph, GraphBuilder, GraphError};
-    pub use crate::io::{read_edge_list, read_edge_list_file, write_edge_list, LoadedGraph};
+    pub use crate::io::{
+        read_edge_list, read_edge_list_file, read_edge_list_sized, write_edge_list, LoadedGraph,
+    };
     pub use crate::partition::Partition;
     pub use crate::spectral;
 }

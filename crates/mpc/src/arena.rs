@@ -1,0 +1,467 @@
+//! Move and scatter primitives for the flat tuple arena.
+//!
+//! This module holds the **only** unsafe code in the crate (the crate root is
+//! `#![deny(unsafe_code)]` with a targeted allow here). Everything in it
+//! implements one pattern: a set of workers, each owning a *disjoint* slice
+//! of the index space, moves (or clones) elements from a source buffer into
+//! predetermined disjoint positions of a preallocated destination buffer.
+//! Safe Rust cannot express "many threads write disjoint computed positions
+//! of one vector" without either per-worker staging vectors (the
+//! clone-into-buckets layout this refactor removes) or interior-mutability
+//! wrappers that cost a word per element, so the three entry points below
+//! are built on raw pointers with the disjointness argument spelled out at
+//! every unsafe block.
+//!
+//! Invariants shared by all entry points:
+//!
+//! * source buffers are consumed by `ptr::read` exactly once per element —
+//!   the source `Vec`'s length is set to zero *before* any worker runs, so a
+//!   panic can only leak elements (safe), never double-drop them;
+//! * destination buffers are `Vec<MaybeUninit<T>>`, fully initialised by the
+//!   workers (each position written exactly once) and only then converted to
+//!   `Vec<T>`;
+//! * worker fan-out goes through [`Executor::run_spans`], which joins every
+//!   worker before returning, so no pointer outlives the buffers it points
+//!   into.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+
+use crate::executor::Executor;
+
+/// A raw pointer that may be captured by worker closures. Safety is argued
+/// at the use sites: workers only dereference indices from their own
+/// disjoint range/position set, and the underlying buffers outlive the
+/// fan-out (scoped threads join before the owning function returns).
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. A method (rather than field access) so that
+    /// closures capture the whole `SendPtr` — edition-2021 disjoint capture
+    /// would otherwise capture the bare `*mut T` field, which is not `Send`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+#[allow(unsafe_code)]
+// SAFETY: sending/sharing the pointer itself is free; dereferences are
+// justified per use site (disjoint index sets, buffers outlive the scope).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Converts a fully-initialised `Vec<MaybeUninit<T>>` into `Vec<T>`.
+///
+/// Callers must have written every position exactly once.
+#[allow(unsafe_code)]
+fn assume_init_vec<T>(v: Vec<MaybeUninit<T>>) -> Vec<T> {
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: `MaybeUninit<T>` has the same layout as `T`, every slot is
+    // initialised (caller contract), and the original Vec is forgotten so
+    // the allocation has exactly one owner.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+}
+
+/// A fresh uninitialised buffer of length `n`.
+fn uninit_vec<T>(n: usize) -> Vec<MaybeUninit<T>> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, MaybeUninit::uninit);
+    v
+}
+
+#[cfg(debug_assertions)]
+fn debug_check_permutation(pos: &[usize]) {
+    let mut seen = vec![false; pos.len()];
+    for &p in pos {
+        assert!(p < pos.len(), "position {p} out of range");
+        assert!(!seen[p], "position {p} written twice");
+        seen[p] = true;
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_check_permutation(_pos: &[usize]) {}
+
+/// Consumes `src` and returns `out` with `out[pos[i]] = src[i]`, moving every
+/// element exactly once. `pos` must be a permutation of `0..src.len()`
+/// (checked in debug builds); workers move disjoint index ranges in
+/// parallel.
+#[allow(unsafe_code)]
+pub(crate) fn permute_owned<T: Send>(
+    executor: &Executor,
+    mut src: Vec<T>,
+    pos: &[usize],
+) -> Vec<T> {
+    let n = src.len();
+    assert_eq!(pos.len(), n, "one position per element required");
+    debug_check_permutation(pos);
+    let mut out = uninit_vec::<T>(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let src_ptr = SendPtr(src.as_mut_ptr());
+    // SAFETY: zero the length first so elements are owned by the moves below
+    // (a panic leaks instead of double-dropping); the buffer itself stays
+    // allocated until `src` drops at the end of this function, after every
+    // worker has joined.
+    unsafe { src.set_len(0) };
+    executor.run_spans(&executor.element_spans(n), |_w, range| {
+        for i in range {
+            // SAFETY: ranges are disjoint, so `src[i]` is read exactly once;
+            // `pos` is a permutation, so `out[pos[i]]` is written exactly
+            // once; both buffers outlive the joined scope.
+            unsafe {
+                let t = src_ptr.get().add(i).read();
+                out_ptr.get().add(pos[i]).cast::<T>().write(t);
+            }
+        }
+    });
+    assume_init_vec(out)
+}
+
+/// Consumes `src` element-wise through `f`, in parallel, preserving order:
+/// `out[i] = f(src[i])` with every `T` moved (not cloned) into `f`.
+#[allow(unsafe_code)]
+pub(crate) fn map_owned<T: Send, U: Send, F>(executor: &Executor, mut src: Vec<T>, f: F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = src.len();
+    let mut out = uninit_vec::<U>(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let src_ptr = SendPtr(src.as_mut_ptr());
+    // SAFETY: as in `permute_owned` — length zeroed before any read.
+    unsafe { src.set_len(0) };
+    executor.run_spans(&executor.element_spans(n), |_w, range| {
+        for i in range {
+            // SAFETY: disjoint ranges — index `i` is read and written exactly
+            // once, and both buffers outlive the joined scope.
+            unsafe {
+                let t = src_ptr.get().add(i).read();
+                out_ptr.get().add(i).cast::<U>().write(f(t));
+            }
+        }
+    });
+    assume_init_vec(out)
+}
+
+/// Debug-only validation that `cursors` are the exclusive prefix sums of the
+/// per-range destination histograms of `dests` — the invariant that makes
+/// the scatters below write every output slot exactly once.
+#[cfg(debug_assertions)]
+fn debug_check_scatter_plan(dests: &[usize], ranges: &[Range<usize>], cursors: &[Vec<usize>]) {
+    let m = cursors.first().map_or(0, Vec::len);
+    let mut expected: Vec<Vec<usize>> = Vec::with_capacity(ranges.len());
+    let mut totals = vec![0usize; m];
+    for range in ranges {
+        let mut hist = vec![0usize; m];
+        for &d in &dests[range.clone()] {
+            assert!(d < m, "destination {d} out of range");
+            hist[d] += 1;
+        }
+        expected.push(totals.clone());
+        for d in 0..m {
+            totals[d] += hist[d];
+        }
+    }
+    // Shift per-worker starts by the destination base offsets.
+    let mut base = vec![0usize; m];
+    let mut acc = 0usize;
+    for d in 0..m {
+        base[d] = acc;
+        acc += totals[d];
+    }
+    assert_eq!(acc, dests.len(), "histograms must cover every element");
+    for (w, starts) in expected.iter().enumerate() {
+        for d in 0..m {
+            assert_eq!(
+                cursors[w][d],
+                base[d] + starts[d],
+                "cursor mismatch at worker {w}, destination {d}"
+            );
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_check_scatter_plan(_dests: &[usize], _ranges: &[Range<usize>], _cursors: &[Vec<usize>]) {}
+
+/// The scatter half of the counting shuffle, moving elements: worker `w`
+/// walks `ranges[w]` in order and writes element `i` to the next free slot
+/// of its destination's cursor window (`cursors[w]` = that worker's
+/// exclusive-prefix-sum write cursors, one per destination). The cursor
+/// windows partition `0..src.len()` (checked in debug builds), so every
+/// output slot is written exactly once.
+#[allow(unsafe_code)]
+pub(crate) fn scatter_owned<T: Send>(
+    executor: &Executor,
+    mut src: Vec<T>,
+    dests: &[usize],
+    ranges: &[Range<usize>],
+    cursors: &[Vec<usize>],
+) -> Vec<T> {
+    let n = src.len();
+    assert_eq!(dests.len(), n, "one destination per element required");
+    assert_eq!(ranges.len(), cursors.len(), "one cursor set per range");
+    debug_check_scatter_plan(dests, ranges, cursors);
+    let mut out = uninit_vec::<T>(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let src_ptr = SendPtr(src.as_mut_ptr());
+    // SAFETY: as in `permute_owned` — length zeroed before any read.
+    unsafe { src.set_len(0) };
+    executor.run_spans(ranges, |w, range| {
+        let mut cursor = cursors[w].clone();
+        for i in range {
+            let slot = cursor[dests[i]];
+            cursor[dests[i]] += 1;
+            // SAFETY: ranges are disjoint (each `src[i]` read once) and the
+            // cursor windows partition the output (each slot written once);
+            // both buffers outlive the joined scope.
+            unsafe {
+                let t = src_ptr.get().add(i).read();
+                out_ptr.get().add(slot).cast::<T>().write(t);
+            }
+        }
+    });
+    assume_init_vec(out)
+}
+
+/// Like [`scatter_owned`] but cloning out of a borrowed source.
+#[allow(unsafe_code)]
+pub(crate) fn scatter_cloned<T: Clone + Send + Sync>(
+    executor: &Executor,
+    src: &[T],
+    dests: &[usize],
+    ranges: &[Range<usize>],
+    cursors: &[Vec<usize>],
+) -> Vec<T> {
+    let n = src.len();
+    assert_eq!(dests.len(), n, "one destination per element required");
+    assert_eq!(ranges.len(), cursors.len(), "one cursor set per range");
+    debug_check_scatter_plan(dests, ranges, cursors);
+    let mut out = uninit_vec::<T>(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    executor.run_spans(ranges, |w, range| {
+        let mut cursor = cursors[w].clone();
+        for i in range {
+            let slot = cursor[dests[i]];
+            cursor[dests[i]] += 1;
+            // SAFETY: the cursor windows partition the output, so each slot
+            // is written exactly once; the buffer outlives the joined scope.
+            unsafe {
+                out_ptr.get().add(slot).cast::<T>().write(src[i].clone());
+            }
+        }
+    });
+    assume_init_vec(out)
+}
+
+/// An owning iterator over one contiguous span of a consumed arena: yields
+/// the span's elements *by value* (via `ptr::read`), dropping any elements
+/// not consumed when the iterator itself drops — so each element is used
+/// exactly once no matter how much of the span the caller takes.
+pub(crate) struct SpanDrain<'a, T> {
+    base: SendPtr<T>,
+    cur: usize,
+    end: usize,
+    /// Ties the drain to the source buffer's borrow: `consume_spans` is
+    /// higher-ranked over this lifetime, so a closure cannot smuggle the
+    /// drain out past the buffer's lifetime (that would be a compile
+    /// error), keeping the use-after-free impossible by construction.
+    _buffer: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<T> Iterator for SpanDrain<'_, T> {
+    type Item = T;
+
+    #[allow(unsafe_code)]
+    fn next(&mut self) -> Option<T> {
+        if self.cur == self.end {
+            return None;
+        }
+        // SAFETY: `cur < end` stays inside the span, and advancing the
+        // cursor guarantees each element is read exactly once.
+        unsafe {
+            let t = self.base.get().add(self.cur).read();
+            self.cur += 1;
+            Some(t)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.end - self.cur;
+        (left, Some(left))
+    }
+}
+
+impl<T> ExactSizeIterator for SpanDrain<'_, T> {}
+
+impl<T> Drop for SpanDrain<'_, T> {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        while self.cur != self.end {
+            // SAFETY: these elements were never yielded, so this is their
+            // only drop.
+            unsafe {
+                self.base.get().add(self.cur).drop_in_place();
+                self.cur += 1;
+            }
+        }
+    }
+}
+
+/// Consumes `src` span by span: worker `w` receives `spans[w]`'s elements as
+/// an owning [`SpanDrain`] iterator plus the span itself, and the per-span
+/// results come back in span order. The spans must tile `0..src.len()`
+/// ascending (a [`Executor::worker_spans`]-style split, possibly scaled).
+#[allow(unsafe_code)]
+pub(crate) fn consume_spans<T, U, F>(
+    executor: &Executor,
+    mut src: Vec<T>,
+    spans: &[Range<usize>],
+    f: F,
+) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: for<'a> Fn(usize, Range<usize>, SpanDrain<'a, T>) -> U + Sync,
+{
+    let mut expected = 0usize;
+    for s in spans {
+        assert_eq!(s.start, expected, "spans must tile the source in order");
+        expected = s.end;
+    }
+    assert_eq!(expected, src.len(), "spans must cover the source exactly");
+    let base = SendPtr(src.as_mut_ptr());
+    // SAFETY: as in `permute_owned` — length zeroed before any read; the
+    // drains below read (or drop) each element exactly once.
+    unsafe { src.set_len(0) };
+    executor.run_spans(spans, |w, range| {
+        // Spans are disjoint, so each drain exclusively owns its elements
+        // (`SendPtr` is `Send`/`Sync`; dereferences happen inside the drain).
+        let drain = SpanDrain {
+            base,
+            cur: range.start,
+            end: range.end,
+            _buffer: std::marker::PhantomData,
+        };
+        f(w, range, drain)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_owned_applies_the_permutation() {
+        for threads in [1usize, 4] {
+            let exec = Executor::threaded(threads);
+            let src: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+            let pos: Vec<usize> = (0..500).map(|i| (i * 7) % 500).collect(); // 7 ⊥ 500
+            let out = permute_owned(&exec, src, &pos);
+            for i in 0..500 {
+                assert_eq!(out[(i * 7) % 500], i.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_cloned_matches_owned() {
+        let exec = Executor::threaded(3);
+        let src: Vec<u64> = (0..300).map(|i| i % 7).collect();
+        let dests: Vec<usize> = src.iter().map(|&k| (k % 5) as usize).collect();
+        // One worker range per executor span; cursors from the histograms.
+        let ranges = exec.worker_spans(300);
+        let mut totals = vec![0usize; 5];
+        let mut starts: Vec<Vec<usize>> = Vec::new();
+        for r in &ranges {
+            starts.push(totals.clone());
+            for &d in &dests[r.clone()] {
+                totals[d] += 1;
+            }
+        }
+        let mut base = [0usize; 5];
+        for d in 1..5 {
+            base[d] = base[d - 1] + totals[d - 1];
+        }
+        let cursors: Vec<Vec<usize>> = starts
+            .iter()
+            .map(|s| (0..5).map(|d| base[d] + s[d]).collect())
+            .collect();
+        let cloned = scatter_cloned(&exec, &src, &dests, &ranges, &cursors);
+        let owned = scatter_owned(&exec, src, &dests, &ranges, &cursors);
+        assert_eq!(cloned, owned);
+        // The scatter is a stable counting sort by destination.
+        let mut expected_groups: Vec<u64> = Vec::new();
+        for d in 0..5u64 {
+            expected_groups.extend((0..300u64).map(|i| i % 7).filter(|&k| k % 5 == d));
+        }
+        assert_eq!(owned, expected_groups);
+    }
+
+    #[test]
+    fn map_owned_moves_without_cloning() {
+        let exec = Executor::threaded(4);
+        let src: Vec<Box<u64>> = (0..1000u64).map(Box::new).collect();
+        let out = map_owned(&exec, src, |b| *b * 2);
+        assert_eq!(out[499], 998);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn consume_spans_hands_out_disjoint_drains() {
+        let exec = Executor::threaded(4);
+        let src: Vec<u64> = (0..1000).collect();
+        let spans = exec.element_spans(1000);
+        let sums = consume_spans(&exec, src, &spans, |_w, _range, drain| drain.sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn unconsumed_drain_elements_are_dropped_not_leaked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let exec = Executor::sequential();
+        let src: Vec<Counted> = (0..100).map(|_| Counted).collect();
+        let spans = vec![0..50, 50..100];
+        // Take only 10 elements from each span; the rest must still drop.
+        let taken = consume_spans(&exec, src, &spans, |_w, _range, mut drain| {
+            let mut count = 0;
+            for _ in 0..10 {
+                if drain.next().is_some() {
+                    count += 1;
+                }
+            }
+            count
+        });
+        assert_eq!(taken, vec![10, 10]);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let exec = Executor::threaded(8);
+        assert!(permute_owned(&exec, Vec::<u64>::new(), &[]).is_empty());
+        assert!(map_owned(&exec, Vec::<u64>::new(), |x| x).is_empty());
+        let none: Vec<u64> =
+            consume_spans(&exec, Vec::new(), &[], |_, _, d: SpanDrain<'_, u64>| {
+                d.sum()
+            });
+        assert!(none.is_empty());
+    }
+}

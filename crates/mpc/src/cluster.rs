@@ -1,21 +1,32 @@
 //! The execution layer: simulated machines holding tuples, with
 //! map / shuffle / broadcast supersteps that enforce the memory budget.
 //!
-//! The [`Cluster`] is deliberately simple — a vector of machines, each a
-//! vector of tuples — because its job is not performance but *fidelity*: a
-//! shuffle really re-partitions tuples by key, really costs one round, and
-//! really fails (or records a violation) when some machine would exceed its
-//! memory budget. The baselines run end-to-end on this layer, and the unit
-//! tests of the primitives in [`crate::primitives`] validate the round
-//! accounting the higher-level algorithms charge through
-//! [`MpcContext`](crate::MpcContext).
+//! The [`Cluster`] stores its tuples in a **flat arena**: one contiguous
+//! `Vec<T>` plus a CSR-style machine-offset table, so machine `i`'s tuples
+//! are the slice `arena[offsets[i]..offsets[i + 1]]`. The job of the layer
+//! is still *fidelity* — a shuffle really re-partitions tuples by key,
+//! really costs one round, and really fails (or records a violation) when
+//! some machine would exceed its memory budget — but the layout makes the
+//! simulator cheap enough to push real workloads through: local ops touch
+//! one allocation instead of one per machine, consuming variants
+//! (`map_local_owned`, `shuffle_by_key_owned`, …) move tuples instead of
+//! cloning them, and [`Cluster::shuffle_by_key`] is a two-pass *counting
+//! shuffle* (parallel per-worker destination histograms, an exclusive
+//! prefix-sum offset table, then a parallel scatter straight into the
+//! preallocated output arena) rather than a clone-into-buckets pass.
 //!
-//! Per-machine work (local maps, shuffle routing, combiner passes, load
-//! checks) fans out through the cluster's [`Executor`]: with the threaded
-//! backend the simulated machines really do compute concurrently, while the
-//! results — tuple order, statistics, errors — stay bit-identical to the
-//! sequential backend (see the determinism contract in [`crate::executor`]).
+//! Per-machine work fans out through the cluster's [`Executor`]: with the
+//! threaded backend the simulated machines really do compute concurrently,
+//! while the results — tuple order, statistics, errors — stay bit-identical
+//! to the sequential backend (see the determinism contract in
+//! [`crate::executor`]). The counting shuffle preserves the historical
+//! tuple order exactly: within each destination machine, tuples appear in
+//! global source order (machine-major), which is what the old
+//! bucket-merge-by-worker fan-in produced.
 
+use std::ops::Range;
+
+use crate::arena;
 use crate::config::{MpcConfig, MpcError};
 use crate::executor::Executor;
 use crate::stats::{MpcContext, WorkerStats};
@@ -35,10 +46,16 @@ impl<V> KeyedTuple for (u64, V) {
     }
 }
 
-/// A set of tuples partitioned across simulated machines.
+/// A set of tuples partitioned across simulated machines, stored as a flat
+/// arena plus a machine-offset table.
 #[derive(Debug, Clone)]
 pub struct Cluster<T> {
-    machines: Vec<Vec<T>>,
+    /// All tuples, machine-major: machine `i` owns
+    /// `arena[offsets[i]..offsets[i + 1]]`.
+    arena: Vec<T>,
+    /// CSR-style offsets; `offsets.len() == num_machines + 1`,
+    /// `offsets[0] == 0`, non-decreasing, last entry `== arena.len()`.
+    offsets: Vec<usize>,
     /// Words per tuple used for memory accounting (default 2: a key and a
     /// value word).
     words_per_tuple: usize,
@@ -51,16 +68,28 @@ impl<T> Cluster<T> {
     /// (the paper assumes the input is distributed adversarially but evenly;
     /// round-robin is the even distribution with no helpful locality). The
     /// cluster adopts the execution backend selected by `config.threads`.
-    pub fn from_tuples(config: &MpcConfig, tuples: Vec<T>) -> Self {
+    pub fn from_tuples(config: &MpcConfig, tuples: Vec<T>) -> Self
+    where
+        T: Send,
+    {
         let m = config.num_machines.max(1);
-        let mut machines: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
-        for (i, t) in tuples.into_iter().enumerate() {
-            machines[i % m].push(t);
+        let n = tuples.len();
+        let executor = config.executor();
+        // Machine j receives indices j, j + m, j + 2m, …: its count and the
+        // arena position of every tuple are closed-form, so the arena is
+        // built by one parallel permutation instead of m growing vectors.
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        for j in 0..m {
+            let count = if j < n % m { n / m + 1 } else { n / m };
+            offsets.push(offsets[j] + count);
         }
+        let pos: Vec<usize> = (0..n).map(|i| offsets[i % m] + i / m).collect();
         Cluster {
-            machines,
+            arena: arena::permute_owned(&executor, tuples, &pos),
+            offsets,
             words_per_tuple: 2,
-            executor: config.executor(),
+            executor,
         }
     }
 
@@ -71,12 +100,47 @@ impl<T> Cluster<T> {
     }
 
     /// Builds a cluster directly from explicit per-machine partitions.
-    /// Used by the primitives in [`crate::primitives`]; not itself an MPC
-    /// operation (no rounds are charged). Runs on the sequential backend
-    /// unless [`Cluster::with_executor`] is applied.
+    /// Used by tests and the primitives in [`crate::primitives`]; not itself
+    /// an MPC operation (no rounds are charged). Runs on the sequential
+    /// backend unless [`Cluster::with_executor`] is applied.
     pub fn from_partitions(machines: Vec<Vec<T>>) -> Self {
+        let mut offsets = Vec::with_capacity(machines.len() + 1);
+        offsets.push(0usize);
+        for m in &machines {
+            offsets.push(offsets.last().unwrap() + m.len());
+        }
+        let mut arena = Vec::with_capacity(*offsets.last().unwrap());
+        for m in machines {
+            arena.extend(m);
+        }
         Cluster {
-            machines,
+            arena,
+            offsets,
+            words_per_tuple: 2,
+            executor: Executor::sequential(),
+        }
+    }
+
+    /// Builds a cluster directly from a flat arena and its machine-offset
+    /// table (`offsets.len() == machines + 1`, starting at 0, non-decreasing
+    /// and ending at `arena.len()`). The zero-copy counterpart of
+    /// [`Cluster::from_partitions`]; not an MPC operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset table is malformed.
+    pub fn from_arena(arena: Vec<T>, offsets: Vec<usize>) -> Self {
+        assert!(
+            offsets.first() == Some(&0) && offsets.last() == Some(&arena.len()),
+            "offsets must start at 0 and end at the arena length"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        Cluster {
+            arena,
+            offsets,
             words_per_tuple: 2,
             executor: Executor::sequential(),
         }
@@ -93,44 +157,57 @@ impl<T> Cluster<T> {
         self.executor
     }
 
+    /// Words each tuple is charged for in memory accounting.
+    pub fn words_per_tuple(&self) -> usize {
+        self.words_per_tuple
+    }
+
     /// Number of simulated machines.
     pub fn num_machines(&self) -> usize {
-        self.machines.len()
+        self.offsets.len() - 1
     }
 
     /// Total number of tuples across all machines.
     pub fn len(&self) -> usize {
-        self.machines.iter().map(Vec::len).sum()
+        self.arena.len()
     }
 
     /// Returns `true` if the cluster holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.machines.iter().all(Vec::is_empty)
+        self.arena.is_empty()
     }
 
-    /// The tuples currently resident on machine `i`.
+    /// The tuples currently resident on machine `i` (a zero-copy slice of
+    /// the arena).
     pub fn machine(&self, i: usize) -> &[T] {
-        &self.machines[i]
+        &self.arena[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The machine-offset table: machine `i` owns arena positions
+    /// `offsets()[i]..offsets()[i + 1]`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
     }
 
     /// The largest per-machine load, in words.
     pub fn max_load_words(&self) -> usize {
-        self.machines
-            .iter()
-            .map(|m| m.len() * self.words_per_tuple)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) * self.words_per_tuple)
             .max()
             .unwrap_or(0)
     }
 
     /// Collects all tuples into one vector (an *inspection* helper for tests
-    /// and drivers — not an MPC operation, hence no context argument).
+    /// and drivers — not an MPC operation, hence no context argument). With
+    /// the arena layout this is free: the arena *is* the machine-order
+    /// concatenation.
     pub fn gather(self) -> Vec<T> {
-        self.machines.into_iter().flatten().collect()
+        self.arena
     }
 
-    /// Applies `f` to every tuple locally, one simulated machine per work
-    /// unit. Local computation is free in the MPC model, so no rounds are
-    /// charged.
+    /// Applies `f` to every tuple locally, in parallel over arena chunks.
+    /// Local computation is free in the MPC model, so no rounds are charged.
     pub fn map_local<U, F>(&self, f: F) -> Cluster<U>
     where
         T: Sync,
@@ -138,12 +215,47 @@ impl<T> Cluster<T> {
         F: Fn(&T) -> U + Sync,
     {
         Cluster {
-            machines: self
+            arena: self
                 .executor
-                .map_items(&self.machines, |_, m| m.iter().map(&f).collect()),
+                .map_indexed(self.arena.len(), |i| f(&self.arena[i])),
+            offsets: self.offsets.clone(),
             words_per_tuple: self.words_per_tuple,
             executor: self.executor,
         }
+    }
+
+    /// Consuming variant of [`Cluster::map_local`]: moves every tuple into
+    /// `f` instead of borrowing it, so `T → U` chains (the common
+    /// `shuffle → map → shuffle` pattern) reuse the arena's elements without
+    /// cloning. The machine partition is unchanged.
+    pub fn map_local_owned<U, F>(self, f: F) -> Cluster<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        Cluster {
+            arena: arena::map_owned(&self.executor, self.arena, &f),
+            offsets: self.offsets,
+            words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
+        }
+    }
+
+    /// In-place variant of [`Cluster::map_local`] for `T → T` updates:
+    /// mutates every tuple where it sits, allocating nothing.
+    pub fn map_local_in_place<F>(&mut self, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let spans = self.executor.element_spans(self.arena.len());
+        self.executor
+            .map_slices_mut(&mut self.arena, &spans, |_w, chunk| {
+                for t in chunk {
+                    f(t);
+                }
+            });
     }
 
     /// Applies `f` to every tuple locally, producing zero or more outputs per
@@ -155,13 +267,48 @@ impl<T> Cluster<T> {
         I: IntoIterator<Item = U>,
         F: Fn(&T) -> I + Sync,
     {
-        Cluster {
-            machines: self
-                .executor
-                .map_items(&self.machines, |_, m| m.iter().flat_map(&f).collect()),
-            words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
-        }
+        let parts = self
+            .executor
+            .map_indexed(self.num_machines(), |m| -> Vec<U> {
+                self.machine(m).iter().flat_map(&f).collect()
+            });
+        self.rebuild_from_machine_parts(parts)
+    }
+
+    /// Consuming variant of [`Cluster::flat_map_local`]: moves every tuple
+    /// into `f`.
+    pub fn flat_map_local_owned<U, I, F>(self, f: F) -> Cluster<U>
+    where
+        T: Send,
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let executor = self.executor;
+        let words_per_tuple = self.words_per_tuple;
+        let machine_sizes: Vec<usize> = self.offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let worker_machines = executor.worker_spans(self.num_machines());
+        let spans: Vec<Range<usize>> = worker_machines
+            .iter()
+            .map(|r| self.offsets[r.start]..self.offsets[r.end])
+            .collect();
+        // Each worker drains its machines in order, emitting one output
+        // vector per machine so the offset table can be rebuilt.
+        let nested: Vec<Vec<Vec<U>>> =
+            arena::consume_spans(&executor, self.arena, &spans, |w, _range, mut drain| {
+                worker_machines[w]
+                    .clone()
+                    .map(|mi| {
+                        drain
+                            .by_ref()
+                            .take(machine_sizes[mi])
+                            .flat_map(&f)
+                            .collect::<Vec<U>>()
+                    })
+                    .collect()
+            });
+        let parts: Vec<Vec<U>> = nested.into_iter().flatten().collect();
+        from_machine_parts(parts, words_per_tuple, executor)
     }
 
     /// Drops tuples not satisfying `keep`. Free (local).
@@ -170,27 +317,152 @@ impl<T> Cluster<T> {
         T: Clone + Send + Sync,
         F: Fn(&T) -> bool + Sync,
     {
-        Cluster {
-            machines: self.executor.map_items(&self.machines, |_, m| {
-                m.iter().filter(|t| keep(t)).cloned().collect()
-            }),
-            words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+        let parts = self
+            .executor
+            .map_indexed(self.num_machines(), |m| -> Vec<T> {
+                self.machine(m)
+                    .iter()
+                    .filter(|t| keep(t))
+                    .cloned()
+                    .collect()
+            });
+        self.rebuild_from_machine_parts(parts)
+    }
+
+    /// In-place variant of [`Cluster::filter_local`]: compacts the arena with
+    /// a single stable pass (no allocation, no clones), updating the offset
+    /// table to the surviving counts. The predicate runs sequentially in
+    /// arena order, so it may carry state (`FnMut`) — the dedup primitive
+    /// uses this to drop run-continuation duplicates.
+    pub fn filter_local_in_place<F>(&mut self, mut keep: F)
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let m = self.num_machines();
+        let mut kept = vec![0usize; m];
+        let mut idx = 0usize;
+        let mut machine = 0usize;
+        let offsets = &self.offsets;
+        self.arena.retain(|t| {
+            while idx >= offsets[machine + 1] {
+                machine += 1;
+            }
+            idx += 1;
+            let keep_it = keep(t);
+            if keep_it {
+                kept[machine] += 1;
+            }
+            keep_it
+        });
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        for k in kept {
+            offsets.push(offsets.last().unwrap() + k);
+        }
+        self.offsets = offsets;
+    }
+
+    /// Stitches per-machine output vectors (one per machine, in machine
+    /// order) into a fresh cluster sharing this one's accounting and backend.
+    fn rebuild_from_machine_parts<U>(&self, parts: Vec<Vec<U>>) -> Cluster<U> {
+        from_machine_parts(parts, self.words_per_tuple, self.executor)
+    }
+
+    /// The counting pass of the two-pass counting shuffle: computes each
+    /// tuple's destination machine, the per-worker exclusive-prefix-sum
+    /// write cursors, and the output machine-offset table.
+    ///
+    /// Workers own contiguous runs of whole source machines; each records
+    /// its tuples' destinations plus a destination histogram. The
+    /// histograms fold into the output offset table (destination-major) and
+    /// per-worker cursors (worker-major within a destination), so the
+    /// scatter pass that follows places tuples in exactly the historical
+    /// order: within a destination machine, global source order.
+    fn counting_shuffle_plan<F>(&self, key: &F) -> ShufflePlan
+    where
+        T: Sync,
+        F: Fn(&T) -> u64 + Sync,
+    {
+        let n = self.arena.len();
+        let m = self.num_machines().max(1);
+        if n == 0 {
+            return ShufflePlan {
+                dests: Vec::new(),
+                ranges: Vec::new(),
+                cursors: Vec::new(),
+                dest_offsets: vec![0; m + 1],
+            };
+        }
+        let worker_machines = self.executor.worker_spans(self.num_machines());
+        let ranges: Vec<Range<usize>> = worker_machines
+            .iter()
+            .map(|r| self.offsets[r.start]..self.offsets[r.end])
+            .collect();
+        let arena = &self.arena;
+        // Pass 1: destinations + per-worker histograms.
+        let mut dests = vec![0usize; n];
+        let histograms: Vec<Vec<usize>> =
+            self.executor
+                .map_slices_mut(&mut dests, &ranges, |w, chunk| {
+                    let start = ranges[w].start;
+                    let mut histogram = vec![0usize; m];
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let dest = (splitmix64(key(&arena[start + j])) % m as u64) as usize;
+                        *slot = dest;
+                        histogram[dest] += 1;
+                    }
+                    histogram
+                });
+        // Exclusive prefix sums: destination-major, worker-major within a
+        // destination — the write cursor of worker `w` for destination `d`
+        // starts where the previous workers' `d`-tuples end.
+        let mut dest_offsets = vec![0usize; m + 1];
+        for d in 0..m {
+            dest_offsets[d + 1] = dest_offsets[d] + histograms.iter().map(|h| h[d]).sum::<usize>();
+        }
+        let mut cursors: Vec<Vec<usize>> = Vec::with_capacity(histograms.len());
+        let mut running = dest_offsets[..m].to_vec();
+        for h in &histograms {
+            cursors.push(running.clone());
+            for d in 0..m {
+                running[d] += h[d];
+            }
+        }
+        ShufflePlan {
+            dests,
+            ranges,
+            cursors,
+            dest_offsets,
         }
     }
-}
 
-impl<T: Clone> Cluster<T> {
+    /// Shared accounting tail of both shuffle variants: charges the round and
+    /// checks every destination machine's load, in machine order.
+    fn charge_and_check_shuffle(
+        &self,
+        ctx: &mut MpcContext,
+        dest_offsets: &[usize],
+    ) -> Result<(), MpcError> {
+        ctx.charge_shuffle(self.arena.len() * self.words_per_tuple);
+        let budget = ctx.config().memory_per_machine;
+        let mut loads = WorkerStats::new();
+        loads.record_span_loads(dest_offsets, self.words_per_tuple, budget);
+        ctx.absorb_workers([loads])
+    }
+
     /// One communication superstep: re-partitions every tuple to machine
     /// `hash(key) % num_machines`, so that all tuples sharing a key land on
     /// the same machine. Charges exactly one round and `len()` tuples of
     /// traffic, and enforces the per-machine memory budget on the result.
     ///
-    /// Source machines route concurrently (each worker producing its own
-    /// bucket set, merged in machine order) and destination loads are checked
-    /// through per-worker [`WorkerStats`], so the result — including which
-    /// machine a strict-mode overflow reports — is identical on every
-    /// backend.
+    /// Implemented as a two-pass counting shuffle (see
+    /// [`Cluster::counting_shuffle_plan`]) followed by one parallel scatter
+    /// that clones each tuple straight into its final arena position — no
+    /// intermediate per-worker bucket vectors. Destination loads are checked
+    /// through [`WorkerStats`] in machine order, so the result — including
+    /// which machine a strict-mode overflow reports — is identical on every
+    /// backend. Use [`Cluster::shuffle_by_key_owned`] to move instead of
+    /// clone.
     ///
     /// # Errors
     ///
@@ -198,43 +470,61 @@ impl<T: Clone> Cluster<T> {
     /// machine would exceed its budget.
     pub fn shuffle_by_key<F>(&self, ctx: &mut MpcContext, key: F) -> Result<Cluster<T>, MpcError>
     where
-        T: Send + Sync,
+        T: Clone + Send + Sync,
         F: Fn(&T) -> u64 + Sync,
     {
-        let m = self.machines.len().max(1);
-        // Route phase: each worker covers a contiguous range of source
-        // machines and fills its own bucket set.
-        let routed: Vec<Vec<Vec<T>>> = self.executor.map_ranges(self.machines.len(), |range| {
-            let mut buckets: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
-            for machine in &self.machines[range] {
-                for t in machine {
-                    let dest = (splitmix64(key(t)) % m as u64) as usize;
-                    buckets[dest].push(t.clone());
-                }
-            }
-            buckets
-        });
-        // Fan-in in worker order reproduces the sequential tuple order.
-        let mut out: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
-        for buckets in routed {
-            for (dest, mut bucket) in buckets.into_iter().enumerate() {
-                out[dest].append(&mut bucket);
-            }
-        }
-        ctx.charge_shuffle(self.len() * self.words_per_tuple);
+        let plan = self.counting_shuffle_plan(&key);
+        let arena = arena::scatter_cloned(
+            &self.executor,
+            &self.arena,
+            &plan.dests,
+            &plan.ranges,
+            &plan.cursors,
+        );
+        let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
         let result = Cluster {
-            machines: out,
+            arena,
+            offsets: plan.dest_offsets,
             words_per_tuple: self.words_per_tuple,
             executor: self.executor,
         };
-        // Load accounting is O(machines) additions — not worth a fan-out.
-        let budget = ctx.config().memory_per_machine;
-        let mut loads = WorkerStats::new();
-        for (i, machine) in result.machines.iter().enumerate() {
-            loads.record_machine_load(i, machine.len() * self.words_per_tuple, budget);
-        }
-        ctx.absorb_workers([loads])?;
-        Ok(result)
+        check.map(|()| result)
+    }
+
+    /// Consuming variant of [`Cluster::shuffle_by_key`]: the scatter *moves*
+    /// every tuple into its destination slot, so no `Clone` bound and no
+    /// per-tuple copy. Same cost accounting, same deterministic output
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if any destination
+    /// machine would exceed its budget.
+    pub fn shuffle_by_key_owned<F>(
+        self,
+        ctx: &mut MpcContext,
+        key: F,
+    ) -> Result<Cluster<T>, MpcError>
+    where
+        T: Send + Sync,
+        F: Fn(&T) -> u64 + Sync,
+    {
+        let plan = self.counting_shuffle_plan(&key);
+        let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
+        let arena = arena::scatter_owned(
+            &self.executor,
+            self.arena,
+            &plan.dests,
+            &plan.ranges,
+            &plan.cursors,
+        );
+        let result = Cluster {
+            arena,
+            offsets: plan.dest_offsets,
+            words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
+        };
+        check.map(|()| result)
     }
 
     /// Shuffle followed by a per-key reduction: tuples with equal keys are
@@ -249,8 +539,7 @@ impl<T: Clone> Cluster<T> {
     /// The combiner pass runs one simulated machine per work unit; partials
     /// are emitted key-sorted per machine, so the returned pairs are in a
     /// deterministic order (grouped by destination machine, first-seen order
-    /// within each group) on every backend — and, unlike the historical
-    /// implementation, run-to-run.
+    /// within each group) on every backend — and run-to-run.
     ///
     /// # Errors
     ///
@@ -262,7 +551,7 @@ impl<T: Clone> Cluster<T> {
         key: K,
         init: I,
         fold: FO,
-        mut combine: impl FnMut(&mut A, A),
+        combine: impl FnMut(&mut A, A),
     ) -> Result<Vec<(u64, A)>, MpcError>
     where
         T: Sync,
@@ -271,61 +560,152 @@ impl<T: Clone> Cluster<T> {
         I: Fn(u64) -> A + Sync,
         FO: Fn(&mut A, &T) + Sync,
     {
-        use std::collections::HashMap;
         // Local combiner pass (free: purely local computation), one machine
-        // per work unit. Sorting by key removes the HashMap's iteration-order
-        // nondeterminism from the output.
-        let combined: Vec<Vec<(u64, A)>> = self.executor.map_items(&self.machines, |_, machine| {
-            let mut local: HashMap<u64, A> = HashMap::new();
-            for t in machine {
-                let k = key(t);
-                let acc = local.entry(k).or_insert_with(|| init(k));
-                fold(acc, t);
-            }
-            let mut pairs: Vec<(u64, A)> = local.into_iter().collect();
-            pairs.sort_unstable_by_key(|&(k, _)| k);
-            pairs
+        // per work unit.
+        let combined: Vec<Vec<(u64, A)>> = self.executor.map_indexed(self.num_machines(), |mi| {
+            combine_machine(
+                self.machine(mi).iter(),
+                &|t: &&T| key(t),
+                &init,
+                |acc: &mut A, t: &T| fold(acc, t),
+            )
         });
-        let total: usize = combined.iter().map(Vec::len).sum();
-        ctx.charge_shuffle(total * self.words_per_tuple);
-        // Route each partial to hash(key) % m and merge there.
-        let m = self.machines.len().max(1);
-        let mut partials: Vec<Vec<(u64, A)>> = (0..m).map(|_| Vec::new()).collect();
-        for machine in combined {
-            for (k, a) in machine {
-                let dest = (splitmix64(k) % m as u64) as usize;
-                partials[dest].push((k, a));
-            }
-        }
-        let budget = ctx.config().memory_per_machine;
-        let mut loads = WorkerStats::new();
-        for (i, bucket) in partials.iter().enumerate() {
-            loads.record_machine_load(i, bucket.len() * self.words_per_tuple, budget);
-        }
-        ctx.absorb_workers([loads])?;
-        let mut out = Vec::new();
-        for bucket in partials {
-            // First-seen order (deterministic) with O(1) expected lookups:
-            // the HashMap only indexes into the order-preserving Vec, so its
-            // iteration order never leaks into the output.
-            let mut index: HashMap<u64, usize> = HashMap::new();
-            let mut merged: Vec<(u64, A)> = Vec::new();
-            for (k, a) in bucket {
-                match index.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        combine(&mut merged[*e.get()].1, a)
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(merged.len());
-                        merged.push((k, a));
-                    }
-                }
-            }
-            out.extend(merged);
-        }
-        Ok(out)
+        route_and_merge_partials(
+            ctx,
+            self.num_machines(),
+            self.words_per_tuple,
+            combined,
+            combine,
+        )
     }
 
+    /// Consuming variant of [`Cluster::reduce_by_key`]: `fold` receives each
+    /// tuple *by value*, so accumulators can absorb owned data (strings,
+    /// vectors) without cloning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if a destination
+    /// machine would exceed its budget.
+    pub fn reduce_by_key_owned<A, K, I, FO>(
+        self,
+        ctx: &mut MpcContext,
+        key: K,
+        init: I,
+        fold: FO,
+        combine: impl FnMut(&mut A, A),
+    ) -> Result<Vec<(u64, A)>, MpcError>
+    where
+        T: Send,
+        A: Clone + Send,
+        K: Fn(&T) -> u64 + Sync,
+        I: Fn(u64) -> A + Sync,
+        FO: Fn(&mut A, T) + Sync,
+    {
+        let executor = self.executor;
+        let machine_sizes: Vec<usize> = self.offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let worker_machines = executor.worker_spans(self.num_machines());
+        let spans: Vec<Range<usize>> = worker_machines
+            .iter()
+            .map(|r| self.offsets[r.start]..self.offsets[r.end])
+            .collect();
+        let num_machines = self.num_machines();
+        let words_per_tuple = self.words_per_tuple;
+        let nested: Vec<Vec<Vec<(u64, A)>>> =
+            arena::consume_spans(&executor, self.arena, &spans, |w, _range, mut drain| {
+                worker_machines[w]
+                    .clone()
+                    .map(|mi| {
+                        combine_machine(
+                            drain.by_ref().take(machine_sizes[mi]),
+                            &key,
+                            &init,
+                            |acc, t| fold(acc, t),
+                        )
+                    })
+                    .collect()
+            });
+        let combined: Vec<Vec<(u64, A)>> = nested.into_iter().flatten().collect();
+        route_and_merge_partials(ctx, num_machines, words_per_tuple, combined, combine)
+    }
+}
+
+/// The communication half shared by both `reduce_by_key` variants: routes
+/// each machine's key-sorted partials to `hash(key) % m`, checks destination
+/// loads, and merges equal keys in first-seen order.
+fn route_and_merge_partials<A>(
+    ctx: &mut MpcContext,
+    num_machines: usize,
+    words_per_tuple: usize,
+    combined: Vec<Vec<(u64, A)>>,
+    mut combine: impl FnMut(&mut A, A),
+) -> Result<Vec<(u64, A)>, MpcError> {
+    use std::collections::HashMap;
+    let total: usize = combined.iter().map(Vec::len).sum();
+    ctx.charge_shuffle(total * words_per_tuple);
+    let m = num_machines.max(1);
+    let mut partials: Vec<Vec<(u64, A)>> = (0..m).map(|_| Vec::new()).collect();
+    for machine in combined {
+        for (k, a) in machine {
+            let dest = (splitmix64(k) % m as u64) as usize;
+            partials[dest].push((k, a));
+        }
+    }
+    let budget = ctx.config().memory_per_machine;
+    let mut loads = WorkerStats::new();
+    for (i, bucket) in partials.iter().enumerate() {
+        loads.record_machine_load(i, bucket.len() * words_per_tuple, budget);
+    }
+    ctx.absorb_workers([loads])?;
+    let mut out = Vec::new();
+    for bucket in partials {
+        // First-seen order (deterministic) with O(1) expected lookups: the
+        // HashMap only indexes into the order-preserving Vec, so its
+        // iteration order never leaks into the output.
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut merged: Vec<(u64, A)> = Vec::new();
+        for (k, a) in bucket {
+            match index.entry(k) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    combine(&mut merged[*e.get()].1, a)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(merged.len());
+                    merged.push((k, a));
+                }
+            }
+        }
+        out.extend(merged);
+    }
+    Ok(out)
+}
+
+/// One machine's combiner pass: folds its tuples into per-key accumulators
+/// and returns them key-sorted (sorting removes the HashMap's
+/// iteration-order nondeterminism from the output).
+fn combine_machine<T, A, K, I>(
+    tuples: impl Iterator<Item = T>,
+    key: &K,
+    init: &I,
+    mut fold: impl FnMut(&mut A, T),
+) -> Vec<(u64, A)>
+where
+    K: Fn(&T) -> u64,
+    I: Fn(u64) -> A,
+{
+    use std::collections::HashMap;
+    let mut local: HashMap<u64, A> = HashMap::new();
+    for t in tuples {
+        let k = key(&t);
+        let acc = local.entry(k).or_insert_with(|| init(k));
+        fold(acc, t);
+    }
+    let mut pairs: Vec<(u64, A)> = local.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    pairs
+}
+
+impl<T: Clone> Cluster<T> {
     /// Broadcasts a small value to every machine. Charges one round and
     /// `machines × words` traffic; errors if the broadcast value alone
     /// exceeds the per-machine budget.
@@ -339,8 +719,46 @@ impl<T: Clone> Cluster<T> {
     }
 }
 
+/// The output of [`Cluster::counting_shuffle_plan`]: everything the scatter
+/// pass needs to place each tuple into its final arena slot in one parallel
+/// sweep.
+struct ShufflePlan {
+    /// Destination machine of every arena position.
+    dests: Vec<usize>,
+    /// Contiguous per-worker arena ranges (machine-aligned), matching
+    /// `cursors` index-for-index.
+    ranges: Vec<Range<usize>>,
+    /// Per-worker, per-destination exclusive-prefix-sum write cursors.
+    cursors: Vec<Vec<usize>>,
+    /// Output machine-offset table.
+    dest_offsets: Vec<usize>,
+}
+
+/// Stitches per-machine output vectors into one arena + offset table.
+fn from_machine_parts<U>(
+    parts: Vec<Vec<U>>,
+    words_per_tuple: usize,
+    executor: Executor,
+) -> Cluster<U> {
+    let mut offsets = Vec::with_capacity(parts.len() + 1);
+    offsets.push(0usize);
+    for p in &parts {
+        offsets.push(offsets.last().unwrap() + p.len());
+    }
+    let mut arena = Vec::with_capacity(*offsets.last().unwrap());
+    for p in parts {
+        arena.extend(p);
+    }
+    Cluster {
+        arena,
+        offsets,
+        words_per_tuple,
+        executor,
+    }
+}
+
 /// A cheap 64-bit mixer (SplitMix64 finaliser) used to map keys to machines.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -372,6 +790,19 @@ mod tests {
             assert_eq!(cluster.machine(i).len(), 10);
         }
         assert_eq!(cluster.max_load_words(), 20);
+    }
+
+    #[test]
+    fn round_robin_layout_matches_historical_order() {
+        // Machine j must hold tuples j, j + m, j + 2m, … in increasing order
+        // (the order the Vec<Vec<T>> layout produced).
+        let cfg = small_config();
+        let cluster = Cluster::from_tuples(&cfg, (0u64..30).map(|i| (i, ())).collect());
+        for j in 0..8usize {
+            let expected: Vec<u64> = (j as u64..30).step_by(8).collect();
+            let got: Vec<u64> = cluster.machine(j).iter().map(|t| t.0).collect();
+            assert_eq!(got, expected, "machine {j}");
+        }
     }
 
     #[test]
@@ -421,6 +852,43 @@ mod tests {
     }
 
     #[test]
+    fn owned_shuffle_matches_borrowing_shuffle_exactly() {
+        let tuples: Vec<(u64, u64)> = (0..700).map(|i| (i % 41, i)).collect();
+        for threads in [1usize, 4] {
+            let cfg = MpcConfig::with_memory(4096, 512).with_threads(threads);
+            let mut ctx_a = MpcContext::new(cfg);
+            let mut ctx_b = MpcContext::new(cfg);
+            let a = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_by_key(&mut ctx_a, |t| t.0)
+                .unwrap();
+            let b = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_by_key_owned(&mut ctx_b, |t| t.0)
+                .unwrap();
+            assert_eq!(a.offsets(), b.offsets());
+            assert_eq!(a.gather(), b.gather());
+            assert_eq!(ctx_a.into_stats(), ctx_b.into_stats());
+        }
+    }
+
+    #[test]
+    fn owned_shuffle_works_without_clone() {
+        // String is Clone, but this exercises the move path with owned heap
+        // data; a type without Clone would compile just the same.
+        let cfg = small_config();
+        let mut ctx = MpcContext::new(cfg.permissive());
+        let tuples: Vec<(u64, String)> = (0..40).map(|i| (i % 5, format!("p{i}"))).collect();
+        let cluster = Cluster::from_tuples(&cfg.permissive(), tuples);
+        let shuffled = cluster.shuffle_by_key_owned(&mut ctx, |t| t.0).unwrap();
+        assert_eq!(shuffled.len(), 40);
+        for key in 0..5u64 {
+            let machines_with_key: usize = (0..shuffled.num_machines())
+                .filter(|&m| shuffled.machine(m).iter().any(|t| t.0 == key))
+                .count();
+            assert_eq!(machines_with_key, 1);
+        }
+    }
+
+    #[test]
     fn shuffle_detects_memory_overflow_on_skewed_keys() {
         // All tuples share one key, so one machine must hold everything.
         let cfg = MpcConfig {
@@ -441,6 +909,13 @@ mod tests {
         let cluster4 = Cluster::from_tuples(&cfg4, (0..100u64).map(|i| (7u64, i)).collect());
         let err4 = cluster4.shuffle_by_key(&mut ctx4, |t| t.0).unwrap_err();
         assert_eq!(err, err4);
+        // The owned variant errors identically.
+        let mut ctx5 = MpcContext::new(cfg);
+        let cluster5 = Cluster::from_tuples(&cfg, (0..100u64).map(|i| (7u64, i)).collect());
+        let err5 = cluster5
+            .shuffle_by_key_owned(&mut ctx5, |t| t.0)
+            .unwrap_err();
+        assert_eq!(err, err5);
         // Permissive mode records the violation instead.
         let loose = cfg.permissive();
         let mut ctx2 = MpcContext::new(loose);
@@ -478,6 +953,49 @@ mod tests {
             .filter_local(|t| t.1 % 3 != 0)
             .gather();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owned_and_in_place_locals_match_borrowing_locals() {
+        let tuples: Vec<(u64, u64)> = (0..300).map(|i| (i % 17, i)).collect();
+        for threads in [1usize, 4] {
+            let cfg = small_config().with_threads(threads);
+            let reference = Cluster::from_tuples(&cfg, tuples.clone())
+                .map_local(|t| (t.0, t.1 + 7))
+                .flat_map_local(|t| vec![*t, (t.0, t.1 * 3)])
+                .filter_local(|t| t.1 % 2 == 0);
+            // Same chain through the consuming / in-place variants.
+            let mut owned = Cluster::from_tuples(&cfg, tuples.clone())
+                .map_local_owned(|t| (t.0, t.1 + 7))
+                .flat_map_local_owned(|t| vec![t, (t.0, t.1 * 3)]);
+            owned.filter_local_in_place(|t| t.1 % 2 == 0);
+            assert_eq!(reference.offsets(), owned.offsets(), "threads={threads}");
+            assert_eq!(reference.gather(), owned.gather(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_local_in_place_updates_every_tuple() {
+        let cfg = small_config().with_threads(4);
+        let mut cluster = Cluster::from_tuples(&cfg, (0u64..500).map(|i| (i, i)).collect());
+        let offsets_before = cluster.offsets().to_vec();
+        cluster.map_local_in_place(|t| t.1 *= 2);
+        assert_eq!(cluster.offsets(), &offsets_before[..]);
+        for m in 0..cluster.num_machines() {
+            for t in cluster.machine(m) {
+                assert_eq!(t.1, t.0 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_local_in_place_keeps_machine_boundaries_consistent() {
+        let cfg = small_config();
+        let mut cluster = Cluster::from_tuples(&cfg, (0u64..100).map(|i| (i, i)).collect());
+        let expected = cluster.filter_local(|t| t.1 % 3 == 0);
+        cluster.filter_local_in_place(|t| t.1 % 3 == 0);
+        assert_eq!(cluster.offsets(), expected.offsets());
+        assert_eq!(cluster.gather(), expected.gather());
     }
 
     #[test]
@@ -532,6 +1050,36 @@ mod tests {
     }
 
     #[test]
+    fn owned_reduce_matches_borrowing_reduce_exactly() {
+        let tuples: Vec<(u64, u64)> = (0..400).map(|i| (i % 19, i)).collect();
+        for threads in [1usize, 4] {
+            let cfg = MpcConfig::with_memory(4096, 512).with_threads(threads);
+            let mut ctx_a = MpcContext::new(cfg);
+            let mut ctx_b = MpcContext::new(cfg);
+            let a = Cluster::from_tuples(&cfg, tuples.clone())
+                .reduce_by_key(
+                    &mut ctx_a,
+                    |t| t.0,
+                    |_| 0u64,
+                    |acc, t| *acc += t.1,
+                    |acc, b| *acc += b,
+                )
+                .unwrap();
+            let b = Cluster::from_tuples(&cfg, tuples.clone())
+                .reduce_by_key_owned(
+                    &mut ctx_b,
+                    |t| t.0,
+                    |_| 0u64,
+                    |acc, t: (u64, u64)| *acc += t.1,
+                    |acc, b| *acc += b,
+                )
+                .unwrap();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(ctx_a.into_stats(), ctx_b.into_stats());
+        }
+    }
+
+    #[test]
     fn reduce_by_key_with_skew_stays_within_budget_via_combiners() {
         // 1000 tuples all with the same key but spread over machines: the
         // combiner collapses them to one partial per machine, so no overflow.
@@ -578,5 +1126,33 @@ mod tests {
         let mut all: Vec<u64> = cluster.gather().into_iter().map(|t| t.0).collect();
         all.sort_unstable();
         assert_eq!(all, (0..33u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_arena_round_trips_through_partitions() {
+        let a = Cluster::from_partitions(vec![vec![1u64, 2], vec![], vec![3]]);
+        let b = Cluster::from_arena(vec![1u64, 2, 3], vec![0, 2, 2, 3]);
+        assert_eq!(a.num_machines(), b.num_machines());
+        for m in 0..3 {
+            assert_eq!(a.machine(m), b.machine(m));
+        }
+        assert_eq!(a.offsets(), b.offsets());
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn from_arena_rejects_bad_offsets() {
+        let _ = Cluster::from_arena(vec![1u64, 2, 3], vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_cluster_shuffles_to_empty() {
+        let cfg = small_config();
+        let mut ctx = MpcContext::new(cfg);
+        let cluster = Cluster::from_tuples(&cfg, Vec::<(u64, u64)>::new());
+        let shuffled = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap();
+        assert!(shuffled.is_empty());
+        assert_eq!(shuffled.num_machines(), 8);
+        assert_eq!(ctx.stats().total_rounds(), 1);
     }
 }

@@ -135,6 +135,132 @@ impl Executor {
             .collect()
     }
 
+    /// The deterministic *coarse* work split over `0..n`: the contiguous
+    /// per-worker ranges [`Executor::map_ranges`] would hand its workers
+    /// (units are whole simulated machines, so any `n > 1` splits). Exposed
+    /// so callers can precompute per-worker state — histogram cursors,
+    /// per-worker accumulators — that must line up range-for-range with a
+    /// later fan-out over the same split.
+    pub fn worker_spans(&self, n: usize) -> Vec<Range<usize>> {
+        self.worker_ranges(n, 1)
+    }
+
+    /// The deterministic *fine* work split over `0..n`: like
+    /// [`Executor::worker_spans`] but treating indices as fine-grained items
+    /// (a tuple, a vertex), so fan-outs smaller than
+    /// [`Executor::MIN_INDICES_PER_WORKER`] per worker collapse to fewer
+    /// ranges, exactly as [`Executor::map_indexed`] would.
+    pub fn element_spans(&self, n: usize) -> Vec<Range<usize>> {
+        self.worker_ranges(n, Self::MIN_INDICES_PER_WORKER)
+    }
+
+    /// Runs `f` once per *given* contiguous range, in parallel, returning the
+    /// results in range order. The ranges must be exactly the caller's
+    /// precomputed [`Executor::worker_spans`] / [`Executor::element_spans`]
+    /// split (ascending, disjoint); each worker also receives its range
+    /// index.
+    pub(crate) fn run_spans<U, F>(&self, spans: &[Range<usize>], f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, Range<usize>) -> U + Sync,
+    {
+        if self.threads <= 1 || spans.len() <= 1 {
+            return spans
+                .iter()
+                .enumerate()
+                .map(|(i, r)| f(i, r.clone()))
+                .collect();
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .enumerate()
+                .map(|(i, range)| {
+                    let range = range.clone();
+                    scope.spawn(move || f(i, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Splits `data` into the given contiguous ranges (which must tile
+    /// `0..data.len()` in ascending order — normally a
+    /// [`Executor::worker_spans`] / [`Executor::element_spans`] split scaled
+    /// to the data) and runs `f` on each mutable chunk concurrently,
+    /// returning the per-chunk results in range order. This is the safe
+    /// primitive behind every in-place parallel pass over the flat tuple
+    /// arena: disjoint `&mut` chunks are carved with `split_at_mut`, so no
+    /// two workers can alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not tile `0..data.len()` exactly.
+    pub fn map_slices_mut<T, U, F>(&self, data: &mut [T], ranges: &[Range<usize>], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T]) -> U + Sync,
+    {
+        let mut expected = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, expected, "ranges must tile the data in order");
+            assert!(r.end >= r.start, "ranges must be ascending");
+            expected = r.end;
+        }
+        assert_eq!(expected, data.len(), "ranges must cover the data exactly");
+        if self.threads <= 1 || ranges.len() <= 1 {
+            let mut out = Vec::with_capacity(ranges.len());
+            let mut rest = data;
+            for (i, r) in ranges.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                out.push(f(i, head));
+            }
+            return out;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            let mut rest = data;
+            for (i, r) in ranges.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                handles.push(scope.spawn(move || f(i, head)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Fan-out returning a single flat vector: applies `f` to each range of
+    /// the fine [`Executor::element_spans`] split of `0..n` and concatenates
+    /// the per-range outputs in range order into one pre-sized allocation.
+    /// The result is identical to `(0..n).flat_map(per-index work)` as long
+    /// as `f` emits its range's items in index order — the usual replacement
+    /// for `map_indexed(..).flatten()` chains that would otherwise allocate
+    /// one vector per index.
+    pub fn flat_map_ranges<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> Vec<U> + Sync,
+    {
+        let spans = self.element_spans(n);
+        let parts = self.run_spans(&spans, |_w, range| f(range));
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
     /// Applies `f` to every index in `0..n` and returns the results in index
     /// order. `f` must be a pure function of its index for the determinism
     /// contract to hold.
@@ -201,21 +327,7 @@ impl Executor {
         U: Send,
         F: Fn(Range<usize>) -> U + Sync,
     {
-        let ranges = self.worker_ranges(n, min_per_worker);
-        if ranges.len() <= 1 {
-            return ranges.into_iter().map(f).collect();
-        }
-        let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(move || f(range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
-                .collect()
-        })
+        self.run_spans(&self.worker_ranges(n, min_per_worker), |_w, range| f(range))
     }
 }
 

@@ -74,20 +74,17 @@ where
         .into_iter()
         .map(|(_, t)| t)
         .collect();
-    // Redistribute contiguous runs.
+    // Redistribute contiguous runs: with the flat arena the sorted vector
+    // *is* the output storage — only the offset table (even chunks) is
+    // computed, and the load accounting walks its spans.
     let machines = cluster.num_machines().max(1);
     let chunk = n.div_ceil(machines).max(1);
-    let mut out: Vec<Vec<T>> = Vec::with_capacity(machines);
+    let offsets: Vec<usize> = (0..=machines).map(|i| (i * chunk).min(n)).collect();
     let budget = ctx.config().memory_per_machine;
     let mut loads = WorkerStats::new();
-    let mut iter = all.into_iter();
-    for i in 0..machines {
-        let part: Vec<T> = iter.by_ref().take(chunk).collect();
-        loads.record_machine_load(i, 2 * part.len(), budget);
-        out.push(part);
-    }
+    loads.record_span_loads(&offsets, 2, budget);
     ctx.absorb_workers([loads])?;
-    Ok(Cluster::from_partitions(out).with_executor(executor))
+    Ok(Cluster::from_arena(all, offsets).with_executor(executor))
 }
 
 /// Stable two-way merge preferring the left run on equal keys.
@@ -155,25 +152,22 @@ where
     K: Ord + Clone + Send,
     F: Fn(&T) -> K + Sync,
 {
-    let sorted = distributed_sort(cluster, ctx, &dedup_key)?;
+    let mut sorted = distributed_sort(cluster, ctx, &dedup_key)?;
     // Local dedup on each machine plus dropping a leading duplicate that
     // continues the previous machine's run (purely local + one exchanged
-    // boundary tuple, which we fold into the sort's charge).
-    let machines = sorted.num_machines();
-    let mut out: Vec<Vec<T>> = Vec::with_capacity(machines);
+    // boundary tuple, which we fold into the sort's charge). The in-place
+    // filter compacts the arena without reallocating.
     let mut last_key: Option<K> = None;
-    for i in 0..machines {
-        let mut kept = Vec::new();
-        for t in sorted.machine(i) {
-            let k = dedup_key(t);
-            if last_key.as_ref() != Some(&k) {
-                kept.push(t.clone());
-                last_key = Some(k);
-            }
+    sorted.filter_local_in_place(|t| {
+        let k = dedup_key(t);
+        if last_key.as_ref() != Some(&k) {
+            last_key = Some(k);
+            true
+        } else {
+            false
         }
-        out.push(kept);
-    }
-    Ok(Cluster::from_partitions(out).with_executor(sorted.executor()))
+    });
+    Ok(sorted)
 }
 
 /// Counts tuples per key across the cluster. One round (combiner-based

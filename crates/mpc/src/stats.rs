@@ -304,6 +304,18 @@ impl WorkerStats {
         }
     }
 
+    /// Records the load of every machine described by a CSR-style offset
+    /// table (`offsets.len() == machines + 1`, span `i` holding
+    /// `offsets[i + 1] - offsets[i]` tuples of `words_per_tuple` words
+    /// each), in machine order — the accounting pass of the flat-arena
+    /// [`Cluster`](crate::Cluster) layout, equivalent to calling
+    /// [`WorkerStats::record_machine_load`] once per machine.
+    pub fn record_span_loads(&mut self, offsets: &[usize], words_per_tuple: usize, budget: usize) {
+        for (i, w) in offsets.windows(2).enumerate() {
+            self.record_machine_load(i, (w[1] - w[0]) * words_per_tuple, budget);
+        }
+    }
+
     /// Largest load recorded so far, in words.
     pub fn max_machine_load_words(&self) -> usize {
         self.max_machine_load_words

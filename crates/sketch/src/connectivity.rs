@@ -212,22 +212,26 @@ impl ConnectivitySketch {
     /// always a real edge thanks to the fingerprint test).
     pub fn components(&self) -> ComponentLabels {
         let mut uf = UnionFind::new(self.n);
-        // Component representative -> accumulated sketch for the current phase.
+        // Scratch map from component representative to its accumulator slot,
+        // reused across phases (roots are vertex ids, so a flat vector
+        // replaces the hash map and keeps the iteration order deterministic:
+        // components are visited in first-seen vertex order).
+        let mut slot_of_root = vec![usize::MAX; self.n];
         for phase in 0..self.num_phases {
             // Sum the phase-th sampler of each component.
-            use std::collections::HashMap;
-            let mut acc: HashMap<usize, L0Sampler> = HashMap::new();
+            let mut acc: Vec<(usize, L0Sampler)> = Vec::new();
             for v in 0..self.n {
                 let root = uf.find(v);
                 let sampler = &self.vertices[v].samplers[phase];
-                match acc.entry(root) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().merge(sampler)
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(sampler.clone());
-                    }
+                if slot_of_root[root] == usize::MAX {
+                    slot_of_root[root] = acc.len();
+                    acc.push((root, sampler.clone()));
+                } else {
+                    acc[slot_of_root[root]].1.merge(sampler);
                 }
+            }
+            for &(root, _) in &acc {
+                slot_of_root[root] = usize::MAX;
             }
             // A phase may merge nothing just because every component's sample
             // failed (each fails with constant probability) — that is not

@@ -110,3 +110,66 @@ fn adaptive_components_is_bit_identical_across_thread_counts() {
         }
     }
 }
+
+/// The flat-arena counting shuffle must be bit-identical across thread
+/// counts *and* must reproduce the reference semantics exactly: within each
+/// destination machine, tuples appear in global source order (machine-major
+/// over the input). A naive single-threaded stable bucket pass is the
+/// executable specification.
+#[test]
+fn arena_counting_shuffle_is_bit_identical_across_thread_counts() {
+    use wcc_mpc::{Cluster, MpcConfig, MpcContext};
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    for seed in SEEDS {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tuples: Vec<(u64, u64)> = (0..3000u64)
+            .map(|i| (rand::Rng::gen_range(&mut rng, 0..97u64), i))
+            .collect();
+
+        // Reference: sequential stable bucket pass over the round-robin
+        // machine layout.
+        let cfg1 = MpcConfig::with_memory(1 << 14, 256).with_threads(1);
+        let reference_cluster = Cluster::from_tuples(&cfg1, tuples.clone());
+        let m = reference_cluster.num_machines();
+        let mut expected: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m];
+        for mi in 0..m {
+            for t in reference_cluster.machine(mi) {
+                expected[(splitmix64(t.0) % m as u64) as usize].push(*t);
+            }
+        }
+
+        let mut all_stats = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let cfg = MpcConfig::with_memory(1 << 14, 256).with_threads(threads);
+            let mut ctx = MpcContext::new(cfg);
+            let cluster = Cluster::from_tuples(&cfg, tuples.clone());
+            let shuffled = cluster.shuffle_by_key(&mut ctx, |t| t.0).unwrap();
+            for (mi, want) in expected.iter().enumerate() {
+                assert_eq!(
+                    shuffled.machine(mi),
+                    &want[..],
+                    "machine {mi} diverged from the reference order (seed {seed}, threads {threads})"
+                );
+            }
+            // The consuming variant must agree tuple-for-tuple and
+            // stat-for-stat.
+            let mut ctx_owned = MpcContext::new(cfg);
+            let owned = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_by_key_owned(&mut ctx_owned, |t| t.0)
+                .unwrap();
+            assert_eq!(owned.offsets(), shuffled.offsets());
+            assert_eq!(owned.gather(), shuffled.gather());
+            assert_eq!(ctx_owned.stats(), ctx.stats());
+            all_stats.push(ctx.into_stats());
+        }
+        assert_eq!(all_stats[0], all_stats[1], "stats diverged at 2 threads");
+        assert_eq!(all_stats[0], all_stats[2], "stats diverged at 8 threads");
+    }
+}
