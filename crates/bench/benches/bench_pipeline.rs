@@ -1,7 +1,18 @@
 //! Criterion benchmarks of the end-to-end algorithms: the paper's pipeline
 //! (Theorem 4), the adaptive variant (Corollary 7.1), the sublinear-space
 //! algorithm (Theorem 2) and the classical baselines, all on the same
-//! planted-expander workload.
+//! planted-expander workload — plus the two groups recorded in
+//! `BENCH_pipeline.json` at the workspace root:
+//!
+//! * **pipeline_adaptive_e2e** — the adaptive pipeline on a ~10⁵-edge
+//!   planted-expander graph at 1 and 4 worker threads (the whole
+//!   zero-materialisation walk engine end to end; one sample per config,
+//!   each run takes tens of seconds);
+//! * **reduce_by_key_radix_vs_hashmap** — the sort-based aggregation
+//!   (`reduce_by_key`) against the retained hash-based reference
+//!   (`reduce_by_key_hashmap`) at 10⁵–10⁶ tuples. Outputs are asserted
+//!   bit-identical before timing, so any difference is pure aggregation
+//!   machinery.
 //!
 //! Wall-clock time is *not* the quantity the paper bounds (rounds are — see
 //! the `exp_*` binaries); these benchmarks exist to track the simulator's
@@ -15,7 +26,7 @@ use wcc_baselines::{hash_to_min, random_mate_contraction, sequential_components}
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{MpcConfig, MpcContext};
+use wcc_mpc::{Cluster, MpcConfig, MpcContext};
 
 fn planted(n: usize, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -89,5 +100,115 @@ fn bench_growth_stage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_vs_baselines, bench_growth_stage);
+/// The adaptive pipeline (Corollary 7.1) on a ~10⁵-edge generator graph —
+/// the workload the zero-materialisation walk engine was built for. One run
+/// takes tens of seconds, so the sampling budget effectively collects a
+/// single timed sample per configuration after the warm-up.
+fn bench_adaptive_pipeline_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_adaptive_e2e");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // 2 × 12 500 vertices at degree 8 ≈ 100 000 edges.
+    let g = planted(25_000, 5);
+    assert!(g.num_edges() >= 90_000, "workload should be ~10^5 edges");
+    let params = Params::laptop_scale();
+    for &threads in &[1usize, 4] {
+        let p = params.with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("adaptive_t{threads}"), g.num_edges()),
+            &g,
+            |b, g| b.iter(|| adaptive_components(g, &p, 7).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Sort-based aggregation vs the retained hash-based reference, on the same
+/// keyed-tuple workload `bench_cluster` uses (4096 distinct keys).
+fn bench_reduce_radix_vs_hashmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_by_key_radix_vs_hashmap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for &n in &[100_000usize, 1_000_000] {
+        for &threads in &[1usize, 4] {
+            let cfg = MpcConfig::with_memory(4 * n, (4 * n) / 64)
+                .permissive()
+                .with_threads(threads);
+            let tuples: Vec<(u64, u64)> = (0..n as u64)
+                .map(|i| (i.wrapping_mul(2654435761) % 4096, i))
+                .collect();
+            let cluster = Cluster::from_tuples(&cfg, tuples);
+            // Differential check once per configuration: identical pairs, in
+            // identical order, before any timing happens.
+            {
+                let mut ctx_a = MpcContext::new(cfg);
+                let mut ctx_b = MpcContext::new(cfg);
+                let radix = cluster
+                    .reduce_by_key(
+                        &mut ctx_a,
+                        |t| t.0,
+                        |_| 0u64,
+                        |a, t| *a += t.1,
+                        |a, b| *a += b,
+                    )
+                    .unwrap();
+                let hash = cluster
+                    .reduce_by_key_hashmap(
+                        &mut ctx_b,
+                        |t| t.0,
+                        |_| 0u64,
+                        |a, t| *a += t.1,
+                        |a, b| *a += b,
+                    )
+                    .unwrap();
+                assert_eq!(radix, hash, "aggregation drifted from the reference");
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("radix_t{threads}"), n),
+                &cluster,
+                |b, cl| {
+                    b.iter(|| {
+                        let mut ctx = MpcContext::new(cfg);
+                        cl.reduce_by_key(
+                            &mut ctx,
+                            |t| t.0,
+                            |_| 0u64,
+                            |a, t| *a += t.1,
+                            |a, b| *a += b,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("hashmap_t{threads}"), n),
+                &cluster,
+                |b, cl| {
+                    b.iter(|| {
+                        let mut ctx = MpcContext::new(cfg);
+                        cl.reduce_by_key_hashmap(
+                            &mut ctx,
+                            |t| t.0,
+                            |_| 0u64,
+                            |a, t| *a += t.1,
+                            |a, b| *a += b,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_vs_baselines,
+    bench_growth_stage,
+    bench_adaptive_pipeline_large,
+    bench_reduce_radix_vs_hashmap
+);
 criterion_main!(benches);

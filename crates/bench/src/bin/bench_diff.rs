@@ -1,0 +1,399 @@
+//! `bench_diff` — compares two recorded `BENCH_*.json` snapshots and prints
+//! per-group speedup ratios.
+//!
+//! ```text
+//! USAGE:
+//!   bench_diff <baseline.json> <candidate.json>
+//! ```
+//!
+//! Both files must follow the workspace's snapshot layout: a top-level
+//! `"groups"` object mapping group names to benchmark entries, each entry
+//! carrying `"min"` / `"mean"` / `"max"` duration strings (as written by
+//! transcribing the criterion shim's output, e.g. `"566.673us"` or
+//! `"6.012ms"`). For every benchmark present in *both* files the tool prints
+//! `baseline_mean / candidate_mean` — values above 1.0 mean the candidate
+//! got faster — plus each group's geometric-mean speedup. Benchmarks present
+//! in only one file are listed so renames are visible rather than silently
+//! dropped.
+//!
+//! The vendored `serde_json` shim is serialise-only, so this binary carries
+//! its own minimal JSON reader (objects, arrays, strings, numbers, literals
+//! — everything the snapshot files use).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// A minimal JSON value: exactly what the snapshot layout needs, with
+/// object keys in sorted order (`BTreeMap`) so the report is stable. The
+/// non-object payloads are parsed for completeness but never inspected.
+#[derive(Debug, Clone)]
+#[allow(dead_code)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON reader over a byte slice.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(_) => self.parse_number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' | b'\\' | b'/' => out.push(escaped as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            // The snapshots are plain ASCII; decode the BMP
+                            // escape and move on.
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(self.error(&format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let ch = text.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Parses a duration string like `17.3ns`, `566.673us`, `1.807ms` or `2.5s`
+/// (also the `µs` spelling the criterion shim's `{:?}` output uses) into
+/// seconds.
+fn parse_duration_secs(text: &str) -> Option<f64> {
+    let text = text.trim();
+    let split = text
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_digit() || c == '.'))
+        .map(|(i, _)| i)?;
+    let value: f64 = text[..split].parse().ok()?;
+    let scale = match &text[split..] {
+        "ns" => 1e-9,
+        "us" | "µs" => 1e-6,
+        "ms" => 1e-3,
+        "s" => 1.0,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+fn load_groups(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = parse_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    value
+        .get("groups")
+        .cloned()
+        .ok_or_else(|| format!("{path} has no top-level \"groups\" object"))
+}
+
+fn mean_of(entry: &Json) -> Option<f64> {
+    parse_duration_secs(entry.get("mean")?.as_str()?)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_path] = match args.as_slice() {
+        [a, b] => [a.clone(), b.clone()],
+        _ => {
+            eprintln!("usage: bench_diff <baseline.json> <candidate.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, candidate) = match (load_groups(&baseline_path), load_groups(&candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("speedup = baseline mean / candidate mean (>1.0: candidate faster)");
+    println!("baseline:  {baseline_path}");
+    println!("candidate: {candidate_path}");
+    let empty = BTreeMap::new();
+    let baseline_groups = baseline.as_object().unwrap_or(&empty);
+    let candidate_groups = candidate.as_object().unwrap_or(&empty);
+    let mut group_names: Vec<&String> = baseline_groups
+        .keys()
+        .chain(candidate_groups.keys())
+        .collect();
+    group_names.sort();
+    group_names.dedup();
+
+    let mut compared = 0usize;
+    for group in group_names {
+        let base = baseline_groups
+            .get(group)
+            .and_then(Json::as_object)
+            .cloned()
+            .unwrap_or_default();
+        let cand = candidate_groups
+            .get(group)
+            .and_then(Json::as_object)
+            .cloned()
+            .unwrap_or_default();
+        println!("\ngroup: {group}");
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut names: Vec<&String> = base.keys().chain(cand.keys()).collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            match (
+                base.get(name).and_then(mean_of),
+                cand.get(name).and_then(mean_of),
+            ) {
+                (Some(b), Some(c)) if c > 0.0 => {
+                    let speedup = b / c;
+                    ratios.push(speedup);
+                    compared += 1;
+                    println!(
+                        "  {name:<48} {:>10.3}ms -> {:>10.3}ms   x{speedup:.2}",
+                        b * 1e3,
+                        c * 1e3
+                    );
+                }
+                (Some(_), None) => println!("  {name:<48} only in baseline"),
+                (None, Some(_)) => println!("  {name:<48} only in candidate"),
+                _ => println!("  {name:<48} unparseable mean"),
+            }
+        }
+        if !ratios.is_empty() {
+            let geo_mean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            println!("  group geometric-mean speedup: x{geo_mean:.2}");
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: no benchmark appears in both files");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{mean_of, parse_duration_secs, parse_json};
+
+    fn close(actual: Option<f64>, expected: f64) -> bool {
+        actual.is_some_and(|a| (a - expected).abs() <= 1e-12 * expected.abs().max(1.0))
+    }
+
+    #[test]
+    fn parses_all_supported_suffixes() {
+        assert!(close(parse_duration_secs("250ns"), 2.5e-7));
+        assert!(close(parse_duration_secs("566.5us"), 566.5e-6));
+        assert!(close(parse_duration_secs("566.5µs"), 566.5e-6));
+        assert!(close(parse_duration_secs("1.807ms"), 1.807e-3));
+        assert!(close(parse_duration_secs(" 2.5s "), 2.5));
+        assert_eq!(parse_duration_secs("oops"), None);
+        assert_eq!(parse_duration_secs("12"), None);
+    }
+
+    #[test]
+    fn parses_the_snapshot_layout() {
+        let text = r#"{
+            "bench": "x",
+            "groups": {
+                "g": { "a/100": { "min": "1us", "mean": "2us", "max": "3.5us" } }
+            },
+            "notes": [1, 2.5, true, null, "µ"]
+        }"#;
+        let value = parse_json(text).unwrap();
+        let entry = value.get("groups").unwrap().get("g").unwrap().get("a/100");
+        assert_eq!(mean_of(entry.unwrap()), Some(2e-6));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+}

@@ -27,7 +27,7 @@ use wcc_baselines::run_baseline;
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{MpcConfig, MpcContext, RoundStats};
+use wcc_mpc::{MpcConfig, MpcContext, PhaseStats, RoundStats};
 
 struct Options {
     path: String,
@@ -62,6 +62,11 @@ struct JsonReport {
     memory_violations: Option<u64>,
     /// Wall-clock time of the algorithm run, in milliseconds.
     wall_time_ms: f64,
+    /// Per-phase breakdown in execution order — each entry carries `name`,
+    /// `rounds`, `communication_words` and `wall_time_ms` (the phase's
+    /// wall-clock share of the run, a simulator observable rather than a
+    /// model quantity). Absent for the sequential reference.
+    phases: Option<Vec<PhaseStats>>,
     /// Component size histogram (descending); `null` unless `--sizes`.
     component_sizes: Option<Vec<usize>>,
 }
@@ -243,6 +248,7 @@ fn main() -> ExitCode {
             max_machine_load_words: stats.as_ref().map(RoundStats::max_machine_load_words),
             memory_violations: stats.as_ref().map(RoundStats::memory_violations),
             wall_time_ms,
+            phases: stats.as_ref().map(|s| s.phases().to_vec()),
             component_sizes: sizes,
         };
         match serde_json::to_string(&report) {

@@ -214,8 +214,11 @@ pub fn greedy_query_game(instance: &ExpanderConnInstance) -> usize {
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     // Greedy: descending multiplicity (recomputing exact multiplicities after
     // every kill would be quadratic; the static order is within a constant of
-    // the adaptive greedy on these instances).
-    order.sort_by_key(|&i| std::cmp::Reverse(pairs[i].1.len()));
+    // the adaptive greedy on these instances). Ties break on the pair itself:
+    // `pairs` comes out of a HashMap, whose iteration order is randomised per
+    // process — without the tiebreak the measured query count (and E8's
+    // output) would differ run to run for the same seed.
+    order.sort_by_key(|&i| (std::cmp::Reverse(pairs[i].1.len()), pairs[i].0));
     for &i in &order {
         let (u, v) = pairs[i].0;
         if adversary.query(u as usize, v as usize) == QueryAnswer::Resolved {

@@ -11,6 +11,14 @@
 //! 3. [`grow_components`](crate::leader::grow_components) followed by the
 //!    `O(1)`-diameter BFS endgame (Lemma 6.2).
 //!
+//! Step 2's walks run on the zero-materialisation walk engine: the
+//! lazification self-loops are simulated arithmetically by a
+//! [`LazyView`](wcc_graph::LazyView) instead of rebuilding the regularized
+//! graph's CSR (see `crates/core/src/walks.rs` and DESIGN.md §5), and every
+//! phase (`regularize` / `randomize` / `grow-components` /
+//! `low-diameter-bfs`) records its wall-clock share alongside the model
+//! quantities in [`RoundStats::phases`].
+//!
 //! The library's [`well_connected_components`] additionally includes the
 //! regularized graph's own edges in the endgame contraction, which makes the
 //! returned labels *exactly* the connected components of the input for every
@@ -417,6 +425,29 @@ mod tests {
         let res = well_connected_components(&g, 0.5, &params(), 2).unwrap();
         assert_eq!(res.components.num_components(), 4);
         assert!(res.components.same_component(0, 2));
+    }
+
+    #[test]
+    fn pipeline_records_wall_time_for_every_phase() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let g = generators::planted_expander_components(&[60, 50], 8, &mut rng);
+        let result = well_connected_components(&g, 0.3, &params(), 9).unwrap();
+        let stats = &result.stats;
+        for phase in [
+            "regularize",
+            "randomize",
+            "grow-components",
+            "low-diameter-bfs",
+        ] {
+            assert!(
+                stats.phases().iter().any(|p| p.name == phase),
+                "phase {phase} missing from the breakdown"
+            );
+        }
+        // Wall time accumulates across phases (>= 0 per phase, > 0 in total
+        // for a run that does real work).
+        assert!(stats.total_phase_wall_time_ms() > 0.0);
+        assert!(stats.wall_time_in_phase_ms("randomize") >= 0.0);
     }
 
     #[test]

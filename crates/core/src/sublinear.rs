@@ -19,7 +19,7 @@
 
 use crate::leader::{contraction_graph, leader_election};
 use crate::regularize::CoreError;
-use crate::walks::direct_walk_visits;
+use crate::walks::{direct_walk_visits_into, WalkVisitScratch};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -166,19 +166,19 @@ pub fn sublinear_components(
     // own ChaCha8 stream derived from one master draw, so the densified
     // graph is identical for every backend and thread count. Each worker
     // emits its range's densification edges straight into one flat pair
-    // list (no per-vertex visit vectors survive the fan-out).
+    // list, reusing one epoch-stamped visit scratch and one visit buffer
+    // across all of its walks (no per-vertex hash set or visit vector
+    // survives the fan-out).
     let walk_base = rng.gen::<u64>();
     let pairs: Vec<(usize, usize)> = ctx.executor().flat_map_ranges(n, |range| {
         let mut out = Vec::new();
+        let mut scratch = WalkVisitScratch::new();
+        let mut visits = Vec::new();
         for v in range {
             let mut vrng =
                 ChaCha8Rng::seed_from_u64(wcc_mpc::derive_stream_seed(walk_base, v as u64));
-            out.extend(
-                direct_walk_visits(g, v, t, &mut vrng)
-                    .into_iter()
-                    .filter(|&u| u != v)
-                    .map(|u| (v, u)),
-            );
+            direct_walk_visits_into(g, v, t, &mut vrng, &mut scratch, &mut visits);
+            out.extend(visits.iter().copied().filter(|&u| u != v).map(|u| (v, u)));
         }
         out
     });

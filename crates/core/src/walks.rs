@@ -22,12 +22,21 @@
 //!   the product distribution `⊗_v D_RW(v, t)` that Theorem 3 guarantees.
 //!   The pipeline uses this mode at scale and charges the `O(log t)` rounds
 //!   of the theorem (the substitution is documented in DESIGN.md).
+//!
+//! Both implementations are generic over [`AdjacencyView`], and the
+//! Section 5.2 lazification runs against a virtual
+//! [`LazyView`](wcc_graph::LazyView) — the `Δ` added self-loops are simulated
+//! arithmetically (neighbour indices `>= deg(v)` mean "stay"), so the hot
+//! path never materialises the `2Δ`-adjacency copy that
+//! `Graph::with_self_loops` would build. The view reproduces the materialised
+//! CSR index-for-index, so walk endpoints are bit-identical either way (see
+//! DESIGN.md §5, "The walk engine").
 
 use crate::regularize::CoreError;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use wcc_graph::{Graph, GraphBuilder};
+use wcc_graph::{AdjacencyView, Graph, GraphBuilder};
 use wcc_mpc::{derive_stream_seed, MpcContext};
 
 /// Which implementation of the Theorem-3 walk primitive to use.
@@ -71,8 +80,8 @@ fn walk_rounds(t: usize) -> u64 {
 ///
 /// Panics if the graph has an isolated vertex (the paper assumes minimum
 /// degree 1 throughout) or if `t == 0`.
-pub fn layered_walk_bundle<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn layered_walk_bundle<V: AdjacencyView, R: Rng + ?Sized>(
+    g: &V,
     t: usize,
     copies_multiplier: usize,
     rng: &mut R,
@@ -170,16 +179,21 @@ pub fn layered_walk_bundle<R: Rng + ?Sized>(
 /// own randomness (so the endpoints are mutually independent by
 /// construction). On a regular graph this is exactly the distribution
 /// Theorem 3 produces.
-pub fn direct_walk_targets<R: Rng + ?Sized>(g: &Graph, t: usize, rng: &mut R) -> Vec<usize> {
+pub fn direct_walk_targets<V: AdjacencyView, R: Rng + ?Sized>(
+    g: &V,
+    t: usize,
+    rng: &mut R,
+) -> Vec<usize> {
     (0..g.num_vertices())
         .map(|v| direct_walk_endpoint(g, v, t, rng))
         .collect()
 }
 
 /// Endpoint of a single uniform-neighbour walk of length `t` from `start`
-/// (self-loops make it lazy). Isolated vertices stay put.
-pub fn direct_walk_endpoint<R: Rng + ?Sized>(
-    g: &Graph,
+/// (self-loops — real or [`LazyView`](wcc_graph::LazyView)-virtual — make it
+/// lazy). Isolated vertices stay put.
+pub fn direct_walk_endpoint<V: AdjacencyView, R: Rng + ?Sized>(
+    g: &V,
     start: usize,
     t: usize,
     rng: &mut R,
@@ -197,19 +211,64 @@ pub fn direct_walk_endpoint<R: Rng + ?Sized>(
     cur
 }
 
+/// Reusable first-visit bookkeeping for [`direct_walk_visits_into`]: an
+/// epoch-stamped vertex table, so a worker simulating many walks pays one
+/// `n`-word allocation total instead of one hash set per walk.
+#[derive(Debug, Clone, Default)]
+pub struct WalkVisitScratch {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl WalkVisitScratch {
+    /// A fresh scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        WalkVisitScratch::default()
+    }
+
+    /// Starts a new walk over a graph with `n` vertices; returns the epoch
+    /// tag marking this walk's visits.
+    fn begin(&mut self, n: usize) -> u64 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
 /// The distinct vertices visited by a single walk of length `t` from `start`,
 /// in first-visit order (used by the mildly-sublinear algorithm, Section 8).
-pub fn direct_walk_visits<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn direct_walk_visits<V: AdjacencyView, R: Rng + ?Sized>(
+    g: &V,
     start: usize,
     t: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    let mut seen = std::collections::HashSet::new();
+    let mut scratch = WalkVisitScratch::new();
     let mut order = Vec::new();
+    direct_walk_visits_into(g, start, t, rng, &mut scratch, &mut order);
+    order
+}
+
+/// Allocation-lean variant of [`direct_walk_visits`]: appends the distinct
+/// visited vertices (in first-visit order) to `out`, which is cleared first,
+/// using `scratch` for the seen-set. The RNG draws are identical to
+/// [`direct_walk_visits`] — the scratch only changes how first visits are
+/// detected, never which steps are taken.
+pub fn direct_walk_visits_into<V: AdjacencyView, R: Rng + ?Sized>(
+    g: &V,
+    start: usize,
+    t: usize,
+    rng: &mut R,
+    scratch: &mut WalkVisitScratch,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let epoch = scratch.begin(g.num_vertices());
     let mut cur = start;
-    seen.insert(cur);
-    order.push(cur);
+    scratch.stamp[cur] = epoch;
+    out.push(cur);
     for _ in 0..t {
         let deg = g.degree(cur);
         if deg == 0 {
@@ -218,11 +277,11 @@ pub fn direct_walk_visits<R: Rng + ?Sized>(
         cur = g
             .nth_neighbor(cur, rng.gen_range(0..deg))
             .expect("degree > 0");
-        if seen.insert(cur) {
-            order.push(cur);
+        if scratch.stamp[cur] != epoch {
+            scratch.stamp[cur] = epoch;
+            out.push(cur);
         }
     }
-    order
 }
 
 /// Theorem 3 + the lazification of Section 5.2, packaged for the pipeline:
@@ -257,8 +316,11 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             "independent_lazy_walks requires a regular graph with positive degree".to_string(),
         ));
     }
-    // Section 5.2: add Δ self-loops so uniform steps become lazy steps.
-    let lazy = g.with_self_loops(delta);
+    // Section 5.2: add Δ self-loops so uniform steps become lazy steps. The
+    // loops are virtual (a LazyView), not a rebuilt 2Δ-adjacency copy — the
+    // view draws the same uniform indices and maps them to the same
+    // neighbours, so endpoints are bit-identical to the materialised graph.
+    let lazy = g.lazy_view(delta);
 
     ctx.charge(walk_rounds(t), (n * t.max(1)) as u64);
     ctx.record_balanced_load(n.saturating_mul(t.max(1)).saturating_mul(2))?;
@@ -306,8 +368,11 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             let mut out: Vec<Vec<usize>> = vec![Vec::with_capacity(k); n];
             let max_bundles = 4 * k + 8;
             let mut fallback: Vec<Vec<usize>> = vec![Vec::new(); n];
+            // Vertices still short of `k` endpoints; an O(1) counter replaces
+            // the O(n) `out.iter().all(..)` rescan per bundle.
+            let mut pending = n;
             for _ in 0..max_bundles {
-                if out.iter().all(|w| w.len() >= k) {
+                if pending == 0 {
                     break;
                 }
                 let bundle = layered_walk_bundle(&lazy, t, copies_multiplier, rng);
@@ -315,6 +380,9 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
                     if out[v].len() < k {
                         if bundle.independent[v] {
                             out[v].push(bundle.targets[v]);
+                            if out[v].len() == k {
+                                pending -= 1;
+                            }
                         } else {
                             fallback[v].push(bundle.targets[v]);
                         }
@@ -469,6 +537,60 @@ mod tests {
             ind_reg > 2 * ind_star,
             "regular graph should certify far more independent walks ({ind_reg} vs {ind_star})"
         );
+    }
+
+    #[test]
+    fn lazy_view_walks_match_materialized_self_loops() {
+        // The whole point of the virtual lazy view: for a fixed per-vertex
+        // RNG stream, endpoints and visit sets are *bit-identical* to walking
+        // the materialised `with_self_loops` graph — not merely close in
+        // distribution. This is what lets the LazyView migration keep every
+        // golden output.
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let g = generators::random_regular_permutation_graph(60, 6, &mut rng);
+        let delta = g.max_degree();
+        let materialized = g.with_self_loops(delta);
+        let view = g.lazy_view(delta);
+        for v in (0..g.num_vertices()).step_by(3) {
+            for t in [1usize, 7, 32] {
+                let mut rng_a = ChaCha8Rng::seed_from_u64(1000 + v as u64 + t as u64);
+                let mut rng_b = rng_a.clone();
+                assert_eq!(
+                    direct_walk_endpoint(&materialized, v, t, &mut rng_a),
+                    direct_walk_endpoint(&view, v, t, &mut rng_b),
+                    "endpoint diverged at v={v}, t={t}"
+                );
+                // The streams must also have advanced identically.
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+                let mut rng_a = ChaCha8Rng::seed_from_u64(2000 + v as u64 + t as u64);
+                let mut rng_b = rng_a.clone();
+                assert_eq!(
+                    direct_walk_visits(&materialized, v, t, &mut rng_a),
+                    direct_walk_visits(&view, v, t, &mut rng_b),
+                    "visit order diverged at v={v}, t={t}"
+                );
+            }
+        }
+        // The faithful layered structure sees the same virtual adjacency too.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(3000);
+        let mut rng_b = rng_a.clone();
+        let bundle_a = layered_walk_bundle(&materialized, 4, 2, &mut rng_a);
+        let bundle_b = layered_walk_bundle(&view, 4, 2, &mut rng_b);
+        assert_eq!(bundle_a.targets, bundle_b.targets);
+        assert_eq!(bundle_a.independent, bundle_b.independent);
+    }
+
+    #[test]
+    fn walk_visits_into_reuses_scratch_across_walks() {
+        let g = generators::cycle(10);
+        let mut scratch = WalkVisitScratch::new();
+        let mut out = Vec::new();
+        for (v, seed) in [(0usize, 5u64), (3, 6), (7, 7)] {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng_b = rng_a.clone();
+            direct_walk_visits_into(&g, v, 50, &mut rng_a, &mut scratch, &mut out);
+            assert_eq!(out, direct_walk_visits(&g, v, 50, &mut rng_b));
+        }
     }
 
     #[test]

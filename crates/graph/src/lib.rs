@@ -32,6 +32,7 @@ pub mod graph;
 pub mod io;
 pub mod partition;
 pub mod spectral;
+pub mod view;
 
 pub use crate::components::{connected_components, ComponentLabels, UnionFind};
 pub use crate::graph::{Graph, GraphBuilder, GraphError};
@@ -39,6 +40,7 @@ pub use crate::io::{
     read_edge_list, read_edge_list_file, read_edge_list_sized, write_edge_list, LoadedGraph,
 };
 pub use crate::partition::Partition;
+pub use crate::view::{AdjacencyView, LazyView};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -50,4 +52,5 @@ pub mod prelude {
     };
     pub use crate::partition::Partition;
     pub use crate::spectral;
+    pub use crate::view::{AdjacencyView, LazyView};
 }

@@ -1,0 +1,179 @@
+//! Virtual adjacency views — graphs that exist only arithmetically.
+//!
+//! The lazification step of Section 5.2 turns a `Δ`-regular graph into a
+//! `2Δ`-regular one by adding `Δ` self-loops to every vertex, so that a
+//! uniform neighbour step stays put with probability `1/2`. Materialising
+//! that graph ([`Graph::with_self_loops`]) rebuilds the whole CSR structure
+//! with twice the adjacency — pure overhead, because the added loops are
+//! fully described by one integer. [`LazyView`] simulates them instead: a
+//! view over a borrowed [`Graph`] whose virtual degree is
+//! `deg(v) + loops`, where neighbour indices `>= deg(v)` mean "stay at `v`".
+//!
+//! Everything that takes random-walk steps is generic over the
+//! [`AdjacencyView`] trait, so the same walk code runs against a real
+//! [`Graph`] or a [`LazyView`] — and, crucially, **bit-identically**: the
+//! CSR built by [`Graph::with_self_loops`] lists every vertex's original
+//! neighbours first (in original order) followed by the appended loops, which
+//! is exactly the index mapping [`LazyView::nth_neighbor`] computes. A walk
+//! drawing `gen_range(0..degree(v))` therefore consumes the same randomness
+//! and lands on the same vertices whether the loops are materialised or
+//! virtual (pinned by `lazy_view_walks_match_materialized_self_loops` in
+//! `wcc-core`).
+
+use crate::graph::Graph;
+
+/// Read-only adjacency access, the interface random walks actually need.
+///
+/// Implemented by [`Graph`] (delegating to its CSR) and by [`LazyView`]
+/// (arithmetic self-loops). The *i*-th neighbour of `v` must be a fixed,
+/// stable function of `(v, i)` so that walk code drawing uniform indices is
+/// deterministic given its RNG stream.
+pub trait AdjacencyView {
+    /// Number of vertices of the viewed graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Degree of `v` under this view (self-loops count once; parallel edges
+    /// with multiplicity).
+    fn degree(&self, v: usize) -> usize;
+
+    /// The `i`-th neighbour of `v` (0-indexed) under this view, if it
+    /// exists.
+    fn nth_neighbor(&self, v: usize, i: usize) -> Option<usize>;
+}
+
+impl AdjacencyView for Graph {
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn nth_neighbor(&self, v: usize, i: usize) -> Option<usize> {
+        Graph::nth_neighbor(self, v, i)
+    }
+}
+
+impl<V: AdjacencyView + ?Sized> AdjacencyView for &V {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        (**self).degree(v)
+    }
+
+    fn nth_neighbor(&self, v: usize, i: usize) -> Option<usize> {
+        (**self).nth_neighbor(v, i)
+    }
+}
+
+/// A zero-allocation stand-in for [`Graph::with_self_loops`]: the borrowed
+/// graph plus `loops` virtual self-loops per vertex, simulated arithmetically
+/// instead of materialised into a rebuilt CSR.
+///
+/// Neighbour indexing follows the materialised layout exactly: indices
+/// `0..deg(v)` are `v`'s real neighbours in CSR order, indices
+/// `deg(v)..deg(v) + loops` are the virtual loops (all equal to `v`).
+#[derive(Debug, Clone, Copy)]
+pub struct LazyView<'g> {
+    graph: &'g Graph,
+    loops: usize,
+}
+
+impl<'g> LazyView<'g> {
+    /// Views `graph` with `loops` extra self-loops per vertex.
+    pub fn new(graph: &'g Graph, loops: usize) -> Self {
+        LazyView { graph, loops }
+    }
+
+    /// The underlying graph.
+    pub fn base(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of virtual self-loops added per vertex.
+    pub fn loops(&self) -> usize {
+        self.loops
+    }
+}
+
+impl AdjacencyView for LazyView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.graph.degree(v) + self.loops
+    }
+
+    fn nth_neighbor(&self, v: usize, i: usize) -> Option<usize> {
+        let real = self.graph.degree(v);
+        if i < real {
+            self.graph.nth_neighbor(v, i)
+        } else if i < real + self.loops {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl Graph {
+    /// A [`LazyView`] of this graph with `count` virtual self-loops per
+    /// vertex — the allocation-free replacement for
+    /// [`Graph::with_self_loops`] on walk hot paths.
+    pub fn lazy_view(&self, count: usize) -> LazyView<'_> {
+        LazyView::new(self, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_view_indexing_matches_materialized_adjacency_exactly() {
+        // Mix of plain edges, a parallel edge and a pre-existing self-loop:
+        // the view must reproduce the rebuilt CSR index-for-index.
+        let g = Graph::from_edges_unchecked(5, vec![(0, 1), (1, 2), (2, 2), (0, 1), (3, 4)]);
+        for loops in [0usize, 1, 3] {
+            let materialized = g.with_self_loops(loops);
+            let view = g.lazy_view(loops);
+            assert_eq!(view.num_vertices(), materialized.num_vertices());
+            for v in 0..g.num_vertices() {
+                assert_eq!(view.degree(v), materialized.degree(v), "degree of {v}");
+                for i in 0..view.degree(v) + 1 {
+                    assert_eq!(
+                        view.nth_neighbor(v, i),
+                        materialized.nth_neighbor(v, i),
+                        "neighbour {i} of {v} with {loops} loops"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_view_makes_regular_graphs_twice_as_regular() {
+        let g = Graph::from_edges_unchecked(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let view = g.lazy_view(2);
+        for v in 0..4 {
+            assert_eq!(view.degree(v), 4);
+        }
+        assert_eq!(view.loops(), 2);
+        assert_eq!(view.base().num_vertices(), 4);
+    }
+
+    #[test]
+    fn adjacency_view_works_through_references() {
+        fn total_degree<V: AdjacencyView>(v: &V) -> usize {
+            (0..v.num_vertices()).map(|u| v.degree(u)).sum()
+        }
+        let g = Graph::from_edges_unchecked(3, vec![(0, 1), (1, 2)]);
+        assert_eq!(total_degree(&g), 4);
+        assert_eq!(total_degree(&&g), 4);
+        assert_eq!(total_degree(&g.lazy_view(1)), 7);
+    }
+}

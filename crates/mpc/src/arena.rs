@@ -153,12 +153,18 @@ where
     assume_init_vec(out)
 }
 
-/// Debug-only validation that `cursors` are the exclusive prefix sums of the
-/// per-range destination histograms of `dests` — the invariant that makes
-/// the scatters below write every output slot exactly once.
+/// Debug-only validation that `cursors` (a flat worker-major table of
+/// stride `num_dests`) are the exclusive prefix sums of the per-range
+/// destination histograms of `dests` — the invariant that makes the scatters
+/// below write every output slot exactly once.
 #[cfg(debug_assertions)]
-fn debug_check_scatter_plan(dests: &[usize], ranges: &[Range<usize>], cursors: &[Vec<usize>]) {
-    let m = cursors.first().map_or(0, Vec::len);
+fn debug_check_scatter_plan(
+    dests: &[usize],
+    ranges: &[Range<usize>],
+    cursors: &[usize],
+    num_dests: usize,
+) {
+    let m = num_dests;
     let mut expected: Vec<Vec<usize>> = Vec::with_capacity(ranges.len());
     let mut totals = vec![0usize; m];
     for range in ranges {
@@ -183,7 +189,7 @@ fn debug_check_scatter_plan(dests: &[usize], ranges: &[Range<usize>], cursors: &
     for (w, starts) in expected.iter().enumerate() {
         for d in 0..m {
             assert_eq!(
-                cursors[w][d],
+                cursors[w * m + d],
                 base[d] + starts[d],
                 "cursor mismatch at worker {w}, destination {d}"
             );
@@ -192,33 +198,53 @@ fn debug_check_scatter_plan(dests: &[usize], ranges: &[Range<usize>], cursors: &
 }
 
 #[cfg(not(debug_assertions))]
-fn debug_check_scatter_plan(_dests: &[usize], _ranges: &[Range<usize>], _cursors: &[Vec<usize>]) {}
+fn debug_check_scatter_plan(
+    _dests: &[usize],
+    _ranges: &[Range<usize>],
+    _cursors: &[usize],
+    _num_dests: usize,
+) {
+}
 
 /// The scatter half of the counting shuffle, moving elements: worker `w`
 /// walks `ranges[w]` in order and writes element `i` to the next free slot
-/// of its destination's cursor window (`cursors[w]` = that worker's
-/// exclusive-prefix-sum write cursors, one per destination). The cursor
-/// windows partition `0..src.len()` (checked in debug builds), so every
-/// output slot is written exactly once.
+/// of its destination's cursor window. `cursors` is a flat worker-major
+/// table of stride `num_dests` (`cursors[w * num_dests + d]` = worker `w`'s
+/// exclusive-prefix-sum write cursor for destination `d`); each worker
+/// advances **its own row in place**, so the table — typically scratch
+/// reused across shuffles — is never cloned. The cursor windows partition
+/// `0..src.len()` (checked in debug builds), so every output slot is
+/// written exactly once.
 #[allow(unsafe_code)]
 pub(crate) fn scatter_owned<T: Send>(
     executor: &Executor,
     mut src: Vec<T>,
     dests: &[usize],
     ranges: &[Range<usize>],
-    cursors: &[Vec<usize>],
+    cursors: &mut [usize],
+    num_dests: usize,
 ) -> Vec<T> {
     let n = src.len();
     assert_eq!(dests.len(), n, "one destination per element required");
-    assert_eq!(ranges.len(), cursors.len(), "one cursor set per range");
-    debug_check_scatter_plan(dests, ranges, cursors);
+    assert_eq!(
+        ranges.len() * num_dests,
+        cursors.len(),
+        "one cursor row per range"
+    );
+    debug_check_scatter_plan(dests, ranges, cursors, num_dests);
     let mut out = uninit_vec::<T>(n);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let src_ptr = SendPtr(src.as_mut_ptr());
+    let cursor_ptr = SendPtr(cursors.as_mut_ptr());
     // SAFETY: as in `permute_owned` — length zeroed before any read.
     unsafe { src.set_len(0) };
     executor.run_spans(ranges, |w, range| {
-        let mut cursor = cursors[w].clone();
+        // SAFETY: worker `w` touches only its own stride-`num_dests` cursor
+        // row (rows are disjoint across workers), and the table outlives the
+        // joined scope.
+        let cursor = unsafe {
+            std::slice::from_raw_parts_mut(cursor_ptr.get().add(w * num_dests), num_dests)
+        };
         for i in range {
             let slot = cursor[dests[i]];
             cursor[dests[i]] += 1;
@@ -241,16 +267,27 @@ pub(crate) fn scatter_cloned<T: Clone + Send + Sync>(
     src: &[T],
     dests: &[usize],
     ranges: &[Range<usize>],
-    cursors: &[Vec<usize>],
+    cursors: &mut [usize],
+    num_dests: usize,
 ) -> Vec<T> {
     let n = src.len();
     assert_eq!(dests.len(), n, "one destination per element required");
-    assert_eq!(ranges.len(), cursors.len(), "one cursor set per range");
-    debug_check_scatter_plan(dests, ranges, cursors);
+    assert_eq!(
+        ranges.len() * num_dests,
+        cursors.len(),
+        "one cursor row per range"
+    );
+    debug_check_scatter_plan(dests, ranges, cursors, num_dests);
     let mut out = uninit_vec::<T>(n);
     let out_ptr = SendPtr(out.as_mut_ptr());
+    let cursor_ptr = SendPtr(cursors.as_mut_ptr());
     executor.run_spans(ranges, |w, range| {
-        let mut cursor = cursors[w].clone();
+        // SAFETY: worker `w` touches only its own stride-`num_dests` cursor
+        // row (rows are disjoint across workers), and the table outlives the
+        // joined scope.
+        let cursor = unsafe {
+            std::slice::from_raw_parts_mut(cursor_ptr.get().add(w * num_dests), num_dests)
+        };
         for i in range {
             let slot = cursor[dests[i]];
             cursor[dests[i]] += 1;
@@ -379,7 +416,8 @@ mod tests {
         let exec = Executor::threaded(3);
         let src: Vec<u64> = (0..300).map(|i| i % 7).collect();
         let dests: Vec<usize> = src.iter().map(|&k| (k % 5) as usize).collect();
-        // One worker range per executor span; cursors from the histograms.
+        // One worker range per executor span; flat worker-major cursor table
+        // from the histograms.
         let ranges = exec.worker_spans(300);
         let mut totals = vec![0usize; 5];
         let mut starts: Vec<Vec<usize>> = Vec::new();
@@ -393,13 +431,22 @@ mod tests {
         for d in 1..5 {
             base[d] = base[d - 1] + totals[d - 1];
         }
-        let cursors: Vec<Vec<usize>> = starts
+        let mut cursors: Vec<usize> = starts
             .iter()
-            .map(|s| (0..5).map(|d| base[d] + s[d]).collect())
+            .flat_map(|s| (0..5).map(|d| base[d] + s[d]))
             .collect();
-        let cloned = scatter_cloned(&exec, &src, &dests, &ranges, &cursors);
-        let owned = scatter_owned(&exec, src, &dests, &ranges, &cursors);
+        // The scatter advances cursor rows in place, so each run gets its
+        // own copy of the table.
+        let mut cursors_owned = cursors.clone();
+        let cloned = scatter_cloned(&exec, &src, &dests, &ranges, &mut cursors, 5);
+        let owned = scatter_owned(&exec, src, &dests, &ranges, &mut cursors_owned, 5);
         assert_eq!(cloned, owned);
+        // After the scatter each cursor row has advanced by its histogram.
+        assert_eq!(cursors, cursors_owned);
+        assert!(cursors
+            .chunks_exact(5)
+            .zip(&starts)
+            .all(|(row, s)| (0..5).all(|d| row[d] >= base[d] + s[d])));
         // The scatter is a stable counting sort by destination.
         let mut expected_groups: Vec<u64> = Vec::new();
         for d in 0..5u64 {

@@ -15,6 +15,16 @@
 //! prefix-sum offset table, then a parallel scatter straight into the
 //! preallocated output arena) rather than a clone-into-buckets pass.
 //!
+//! Aggregation is sort-based: [`Cluster::reduce_by_key`]'s combiner passes
+//! cache each machine's tuple keys once, stably argsort them with an 8-bit
+//! radix pass and fold the equal-key runs in one linear scan — no per-machine
+//! `HashMap`s. All shuffle and sort scratch (destination tables, per-worker
+//! histograms, cursor tables, key caches) lives in the [`MpcContext`] and is
+//! reused across successive supersteps, so a steady-state shuffle or
+//! reduction allocates only its output. The hash-based aggregation survives
+//! verbatim as [`Cluster::reduce_by_key_hashmap`], the executable spec the
+//! sort-based path is differentially tested (and benchmarked) against.
+//!
 //! Per-machine work fans out through the cluster's [`Executor`]: with the
 //! threaded backend the simulated machines really do compute concurrently,
 //! while the results — tuple order, statistics, errors — stay bit-identical
@@ -29,6 +39,7 @@ use std::ops::Range;
 use crate::arena;
 use crate::config::{MpcConfig, MpcError};
 use crate::executor::Executor;
+use crate::radix::{RadixScratch, ShuffleScratch};
 use crate::stats::{MpcContext, WorkerStats};
 
 /// Tuples that carry an intrinsic shuffle key.
@@ -373,12 +384,15 @@ impl<T> Cluster<T> {
     /// write cursors, and the output machine-offset table.
     ///
     /// Workers own contiguous runs of whole source machines; each records
-    /// its tuples' destinations plus a destination histogram. The
-    /// histograms fold into the output offset table (destination-major) and
-    /// per-worker cursors (worker-major within a destination), so the
+    /// its tuples' destinations plus a destination histogram — both written
+    /// straight into `scratch` buffers reused across shuffles on the same
+    /// context, so a steady-state shuffle allocates only its output arena.
+    /// The histograms fold into the output offset table (destination-major)
+    /// and per-worker cursors (worker-major within a destination), so the
     /// scatter pass that follows places tuples in exactly the historical
-    /// order: within a destination machine, global source order.
-    fn counting_shuffle_plan<F>(&self, key: &F) -> ShufflePlan
+    /// order: within a destination machine, global source order. The cached
+    /// destinations also mean the scatter never recomputes `key(t)`.
+    fn counting_shuffle_plan<F>(&self, key: &F, scratch: &mut ShuffleScratch) -> ShufflePlan
     where
         T: Sync,
         F: Fn(&T) -> u64 + Sync,
@@ -386,10 +400,10 @@ impl<T> Cluster<T> {
         let n = self.arena.len();
         let m = self.num_machines().max(1);
         if n == 0 {
+            scratch.dests.clear();
+            scratch.cursors.clear();
             return ShufflePlan {
-                dests: Vec::new(),
                 ranges: Vec::new(),
-                cursors: Vec::new(),
                 dest_offsets: vec![0; m + 1],
             };
         }
@@ -398,40 +412,57 @@ impl<T> Cluster<T> {
             .iter()
             .map(|r| self.offsets[r.start]..self.offsets[r.end])
             .collect();
+        let workers = ranges.len();
         let arena = &self.arena;
-        // Pass 1: destinations + per-worker histograms.
-        let mut dests = vec![0usize; n];
-        let histograms: Vec<Vec<usize>> =
-            self.executor
-                .map_slices_mut(&mut dests, &ranges, |w, chunk| {
-                    let start = ranges[w].start;
-                    let mut histogram = vec![0usize; m];
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        let dest = (splitmix64(key(&arena[start + j])) % m as u64) as usize;
-                        *slot = dest;
-                        histogram[dest] += 1;
-                    }
-                    histogram
-                });
+        // Pass 1: destinations + per-worker histograms, one sweep filling
+        // both scratch tables (disjoint chunks / rows per worker).
+        scratch.dests.clear();
+        scratch.dests.resize(n, 0);
+        scratch.histograms.clear();
+        scratch.histograms.resize(workers * m, 0);
+        let hist_ranges: Vec<Range<usize>> = (0..workers).map(|w| w * m..(w + 1) * m).collect();
+        self.executor.map_slices_mut_pair(
+            &mut scratch.dests,
+            &ranges,
+            &mut scratch.histograms,
+            &hist_ranges,
+            |w, chunk, histogram| {
+                let start = ranges[w].start;
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let dest = (splitmix64(key(&arena[start + j])) % m as u64) as usize;
+                    *slot = dest;
+                    histogram[dest] += 1;
+                }
+            },
+        );
         // Exclusive prefix sums: destination-major, worker-major within a
         // destination — the write cursor of worker `w` for destination `d`
         // starts where the previous workers' `d`-tuples end.
         let mut dest_offsets = vec![0usize; m + 1];
-        for d in 0..m {
-            dest_offsets[d + 1] = dest_offsets[d] + histograms.iter().map(|h| h[d]).sum::<usize>();
+        for w in 0..workers {
+            for (slot, &h) in dest_offsets[1..]
+                .iter_mut()
+                .zip(&scratch.histograms[w * m..(w + 1) * m])
+            {
+                *slot += h;
+            }
         }
-        let mut cursors: Vec<Vec<usize>> = Vec::with_capacity(histograms.len());
-        let mut running = dest_offsets[..m].to_vec();
-        for h in &histograms {
-            cursors.push(running.clone());
-            for d in 0..m {
-                running[d] += h[d];
+        let mut acc = 0usize;
+        for slot in dest_offsets.iter_mut() {
+            acc += *slot;
+            *slot = acc;
+        }
+        scratch.cursors.clear();
+        scratch.cursors.resize(workers * m, 0);
+        for (d, &base) in dest_offsets[..m].iter().enumerate() {
+            let mut acc = base;
+            for w in 0..workers {
+                scratch.cursors[w * m + d] = acc;
+                acc += scratch.histograms[w * m + d];
             }
         }
         ShufflePlan {
-            dests,
             ranges,
-            cursors,
             dest_offsets,
         }
     }
@@ -473,14 +504,18 @@ impl<T> Cluster<T> {
         T: Clone + Send + Sync,
         F: Fn(&T) -> u64 + Sync,
     {
-        let plan = self.counting_shuffle_plan(&key);
+        let mut scratch = ctx.take_scratch();
+        let plan = self.counting_shuffle_plan(&key, &mut scratch);
+        let m = self.num_machines().max(1);
         let arena = arena::scatter_cloned(
             &self.executor,
             &self.arena,
-            &plan.dests,
+            &scratch.dests,
             &plan.ranges,
-            &plan.cursors,
+            &mut scratch.cursors,
+            m,
         );
+        ctx.restore_scratch(scratch);
         let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
         let result = Cluster {
             arena,
@@ -509,15 +544,19 @@ impl<T> Cluster<T> {
         T: Send + Sync,
         F: Fn(&T) -> u64 + Sync,
     {
-        let plan = self.counting_shuffle_plan(&key);
+        let mut scratch = ctx.take_scratch();
+        let plan = self.counting_shuffle_plan(&key, &mut scratch);
         let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
+        let m = self.num_machines().max(1);
         let arena = arena::scatter_owned(
             &self.executor,
             self.arena,
-            &plan.dests,
+            &scratch.dests,
             &plan.ranges,
-            &plan.cursors,
+            &mut scratch.cursors,
+            m,
         );
+        ctx.restore_scratch(scratch);
         let result = Cluster {
             arena,
             offsets: plan.dest_offsets,
@@ -536,10 +575,16 @@ impl<T> Cluster<T> {
     /// standard MapReduce optimisation); the shuffle therefore moves at most
     /// one partial accumulator per (machine, key) pair. Charges one round.
     ///
-    /// The combiner pass runs one simulated machine per work unit; partials
-    /// are emitted key-sorted per machine, so the returned pairs are in a
-    /// deterministic order (grouped by destination machine, first-seen order
-    /// within each group) on every backend — and run-to-run.
+    /// The combiner is **sort-based**: each machine's tuple keys are cached
+    /// once, stably argsorted with an 8-bit radix pass
+    /// ([`RadixScratch`]), and the equal-key runs folded with one linear
+    /// scan — no per-machine `HashMap`, and all sort buffers are reused
+    /// across machines, workers and successive calls on the same context.
+    /// Partials are emitted key-sorted per machine, so the returned pairs
+    /// are in a deterministic order (grouped by destination machine,
+    /// first-seen order within each group) on every backend, run-to-run,
+    /// and bit-identical to the retained hash-based reference
+    /// ([`Cluster::reduce_by_key_hashmap`]).
     ///
     /// # Errors
     ///
@@ -560,28 +605,43 @@ impl<T> Cluster<T> {
         I: Fn(u64) -> A + Sync,
         FO: Fn(&mut A, &T) + Sync,
     {
-        // Local combiner pass (free: purely local computation), one machine
-        // per work unit.
-        let combined: Vec<Vec<(u64, A)>> = self.executor.map_indexed(self.num_machines(), |mi| {
-            combine_machine(
-                self.machine(mi).iter(),
-                &|t: &&T| key(t),
-                &init,
-                |acc: &mut A, t: &T| fold(acc, t),
-            )
-        });
-        route_and_merge_partials(
+        let executor = self.executor;
+        let worker_machines = executor.worker_spans(self.num_machines());
+        let mut scratch = ctx.take_scratch();
+        let combined: Vec<Vec<(u64, A)>> = {
+            // Local combiner pass (free: purely local computation). Workers
+            // own contiguous machine runs; worker `w` locks only radix slot
+            // `w`, so the scratch pool is contention-free.
+            let pool = scratch.radix_pool(worker_machines.len());
+            let nested: Vec<Vec<Vec<(u64, A)>>> =
+                executor.run_spans(&worker_machines, |w, machines| {
+                    let mut radix = pool[w].lock().expect("radix scratch lock");
+                    machines
+                        .map(|mi| {
+                            combine_machine_radix(self.machine(mi), &key, &init, &fold, &mut radix)
+                        })
+                        .collect()
+                });
+            nested.into_iter().flatten().collect()
+        };
+        let result = route_and_merge_partials(
             ctx,
             self.num_machines(),
             self.words_per_tuple,
             combined,
             combine,
-        )
+            &mut scratch,
+        );
+        ctx.restore_scratch(scratch);
+        result
     }
 
     /// Consuming variant of [`Cluster::reduce_by_key`]: `fold` receives each
     /// tuple *by value*, so accumulators can absorb owned data (strings,
-    /// vectors) without cloning.
+    /// vectors) without cloning. Uses the same sort-based combiner; tuples
+    /// are buffered per machine (one worker-local buffer reused across the
+    /// worker's machines), permuted into key order in place, and folded run
+    /// by run.
     ///
     /// # Errors
     ///
@@ -611,29 +671,186 @@ impl<T> Cluster<T> {
             .collect();
         let num_machines = self.num_machines();
         let words_per_tuple = self.words_per_tuple;
-        let nested: Vec<Vec<Vec<(u64, A)>>> =
-            arena::consume_spans(&executor, self.arena, &spans, |w, _range, mut drain| {
-                worker_machines[w]
-                    .clone()
-                    .map(|mi| {
-                        combine_machine(
-                            drain.by_ref().take(machine_sizes[mi]),
-                            &key,
-                            &init,
-                            |acc, t| fold(acc, t),
-                        )
-                    })
-                    .collect()
-            });
-        let combined: Vec<Vec<(u64, A)>> = nested.into_iter().flatten().collect();
-        route_and_merge_partials(ctx, num_machines, words_per_tuple, combined, combine)
+        let mut scratch = ctx.take_scratch();
+        let combined: Vec<Vec<(u64, A)>> = {
+            let pool = scratch.radix_pool(spans.len());
+            let nested: Vec<Vec<Vec<(u64, A)>>> =
+                arena::consume_spans(&executor, self.arena, &spans, |w, _range, mut drain| {
+                    let mut radix = pool[w].lock().expect("radix scratch lock");
+                    let mut buf: Vec<T> = Vec::new();
+                    worker_machines[w]
+                        .clone()
+                        .map(|mi| {
+                            buf.clear();
+                            buf.extend(drain.by_ref().take(machine_sizes[mi]));
+                            combine_machine_radix_owned(&mut buf, &key, &init, &fold, &mut radix)
+                        })
+                        .collect()
+                });
+            nested.into_iter().flatten().collect()
+        };
+        let result = route_and_merge_partials(
+            ctx,
+            num_machines,
+            words_per_tuple,
+            combined,
+            combine,
+            &mut scratch,
+        );
+        ctx.restore_scratch(scratch);
+        result
+    }
+
+    /// The hash-based `reduce_by_key` this crate used before the sort-based
+    /// combiner landed, retained verbatim as the **executable specification**:
+    /// differential tests (`tests/cluster_properties.rs`) and the
+    /// `bench_pipeline` radix-vs-hashmap group assert/measure
+    /// [`Cluster::reduce_by_key`] against it. Output and statistics are
+    /// bit-identical; only the aggregation machinery differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if a destination
+    /// machine would exceed its budget.
+    pub fn reduce_by_key_hashmap<A, K, I, FO>(
+        &self,
+        ctx: &mut MpcContext,
+        key: K,
+        init: I,
+        fold: FO,
+        combine: impl FnMut(&mut A, A),
+    ) -> Result<Vec<(u64, A)>, MpcError>
+    where
+        T: Sync,
+        A: Clone + Send,
+        K: Fn(&T) -> u64 + Sync,
+        I: Fn(u64) -> A + Sync,
+        FO: Fn(&mut A, &T) + Sync,
+    {
+        // Local combiner pass, one machine per work unit.
+        let combined: Vec<Vec<(u64, A)>> = self.executor.map_indexed(self.num_machines(), |mi| {
+            combine_machine_hashmap(
+                self.machine(mi).iter(),
+                &|t: &&T| key(t),
+                &init,
+                |acc: &mut A, t: &T| fold(acc, t),
+            )
+        });
+        route_and_merge_partials_hashmap(
+            ctx,
+            self.num_machines(),
+            self.words_per_tuple,
+            combined,
+            combine,
+        )
     }
 }
 
 /// The communication half shared by both `reduce_by_key` variants: routes
 /// each machine's key-sorted partials to `hash(key) % m`, checks destination
 /// loads, and merges equal keys in first-seen order.
+///
+/// Sort-based: partials are counting-sorted into destination buckets (one
+/// flat allocation, arrival order preserved), then each bucket is radix
+/// argsorted by key and its equal-key runs combined with a linear scan. The
+/// output reproduces the hash-based reference exactly: buckets in machine
+/// order, and within a bucket the merged keys in order of first appearance,
+/// each folded in arrival order.
 fn route_and_merge_partials<A>(
+    ctx: &mut MpcContext,
+    num_machines: usize,
+    words_per_tuple: usize,
+    combined: Vec<Vec<(u64, A)>>,
+    mut combine: impl FnMut(&mut A, A),
+    scratch: &mut ShuffleScratch,
+) -> Result<Vec<(u64, A)>, MpcError> {
+    let total: usize = combined.iter().map(Vec::len).sum();
+    ctx.charge_shuffle(total * words_per_tuple);
+    let m = num_machines.max(1);
+
+    // Counting pass: destination of every partial (cached — the scatter
+    // below does not re-hash) and per-destination counts.
+    let counts = &mut scratch.histograms;
+    counts.clear();
+    counts.resize(m, 0);
+    scratch.dests.clear();
+    scratch.dests.reserve(total);
+    for machine in &combined {
+        for (k, _) in machine {
+            let dest = (splitmix64(*k) % m as u64) as usize;
+            scratch.dests.push(dest);
+            counts[dest] += 1;
+        }
+    }
+    let offsets = &mut scratch.cursors;
+    offsets.clear();
+    offsets.push(0);
+    let mut acc = 0usize;
+    for &c in counts.iter() {
+        acc += c;
+        offsets.push(acc);
+    }
+
+    let budget = ctx.config().memory_per_machine;
+    let mut loads = WorkerStats::new();
+    for (d, &c) in counts.iter().enumerate() {
+        loads.record_machine_load(d, c * words_per_tuple, budget);
+    }
+    ctx.absorb_workers([loads])?;
+
+    // Scatter pass: stable counting sort by destination, reusing `counts`
+    // as the running write cursors. `Option` wrapping lets the merge below
+    // move accumulators out in radix order.
+    counts.copy_from_slice(&offsets[..m]);
+    let mut routed: Vec<Option<(u64, A)>> = Vec::with_capacity(total);
+    routed.resize_with(total, || None);
+    let mut idx = 0usize;
+    for machine in combined {
+        for (k, a) in machine {
+            let dest = scratch.dests[idx];
+            idx += 1;
+            routed[counts[dest]] = Some((k, a));
+            counts[dest] += 1;
+        }
+    }
+
+    // Merge pass, bucket by bucket: argsort the bucket's keys, combine each
+    // equal-key run in arrival order (the stable sort keeps it), then emit
+    // the runs ordered by first appearance — exactly the reference order.
+    if scratch.radix.is_empty() {
+        scratch.radix.push(Default::default());
+    }
+    let mut radix = scratch.radix[0].lock().expect("radix scratch lock");
+    let mut out: Vec<(u64, A)> = Vec::new();
+    let mut merged: Vec<(usize, (u64, A))> = Vec::new();
+    for d in 0..m {
+        let (lo, hi) = (offsets[d], offsets[d + 1]);
+        let len = hi - lo;
+        radix.argsort_by(len, |i| routed[lo + i].as_ref().expect("routed slot").0);
+        merged.clear();
+        let mut pos = 0usize;
+        while pos < len {
+            let k = radix.sorted_key(pos);
+            let first = radix.order()[pos];
+            let (_, seed) = routed[lo + first].take().expect("first of run");
+            let mut acc = seed;
+            pos += 1;
+            while pos < len && radix.sorted_key(pos) == k {
+                let (_, a) = routed[lo + radix.order()[pos]].take().expect("run member");
+                combine(&mut acc, a);
+                pos += 1;
+            }
+            merged.push((first, (k, acc)));
+        }
+        merged.sort_unstable_by_key(|&(first, _)| first);
+        out.extend(merged.drain(..).map(|(_, pair)| pair));
+    }
+    Ok(out)
+}
+
+/// The hash-based communication half retained for
+/// [`Cluster::reduce_by_key_hashmap`].
+fn route_and_merge_partials_hashmap<A>(
     ctx: &mut MpcContext,
     num_machines: usize,
     words_per_tuple: usize,
@@ -680,10 +897,83 @@ fn route_and_merge_partials<A>(
     Ok(out)
 }
 
-/// One machine's combiner pass: folds its tuples into per-key accumulators
-/// and returns them key-sorted (sorting removes the HashMap's
-/// iteration-order nondeterminism from the output).
-fn combine_machine<T, A, K, I>(
+/// One machine's sort-based combiner pass: caches the tuples' keys, stably
+/// radix-argsorts them, and folds each equal-key run (in arrival order) with
+/// one linear scan. Returns the per-key accumulators key-sorted — the same
+/// output, bit for bit, as [`combine_machine_hashmap`].
+fn combine_machine_radix<T, A, K, I, FO>(
+    tuples: &[T],
+    key: &K,
+    init: &I,
+    fold: &FO,
+    radix: &mut RadixScratch,
+) -> Vec<(u64, A)>
+where
+    K: Fn(&T) -> u64,
+    I: Fn(u64) -> A,
+    FO: Fn(&mut A, &T),
+{
+    let n = tuples.len();
+    radix.argsort_by(n, |i| key(&tuples[i]));
+    let mut out: Vec<(u64, A)> = Vec::new();
+    let mut pos = 0usize;
+    while pos < n {
+        let k = radix.sorted_key(pos);
+        let mut acc = init(k);
+        while pos < n && radix.sorted_key(pos) == k {
+            fold(&mut acc, &tuples[radix.order()[pos]]);
+            pos += 1;
+        }
+        out.push((k, acc));
+    }
+    out
+}
+
+/// Consuming counterpart of [`combine_machine_radix`]: the machine's tuples
+/// arrive in `buf` (drained from the arena, reused across the worker's
+/// machines), are permuted into key order in place, and handed to `fold` by
+/// value run by run.
+fn combine_machine_radix_owned<T, A, K, I, FO>(
+    buf: &mut Vec<T>,
+    key: &K,
+    init: &I,
+    fold: &FO,
+    radix: &mut RadixScratch,
+) -> Vec<(u64, A)>
+where
+    K: Fn(&T) -> u64,
+    I: Fn(u64) -> A,
+    FO: Fn(&mut A, T),
+{
+    let n = buf.len();
+    radix.argsort_by(n, |i| key(&buf[i]));
+    radix.apply_order_to(buf);
+    let mut out: Vec<(u64, A)> = Vec::new();
+    let mut current: Option<(u64, A)> = None;
+    for (j, t) in buf.drain(..).enumerate() {
+        let k = radix.sorted_key(j);
+        match current.as_mut() {
+            Some((ck, acc)) if *ck == k => fold(acc, t),
+            _ => {
+                if let Some(done) = current.take() {
+                    out.push(done);
+                }
+                let mut acc = init(k);
+                fold(&mut acc, t);
+                current = Some((k, acc));
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        out.push(done);
+    }
+    out
+}
+
+/// One machine's hash-based combiner pass (the retained reference): folds
+/// its tuples into per-key accumulators and returns them key-sorted (sorting
+/// removes the HashMap's iteration-order nondeterminism from the output).
+fn combine_machine_hashmap<T, A, K, I>(
     tuples: impl Iterator<Item = T>,
     key: &K,
     init: &I,
@@ -720,17 +1010,15 @@ impl<T: Clone> Cluster<T> {
 }
 
 /// The output of [`Cluster::counting_shuffle_plan`]: everything the scatter
-/// pass needs to place each tuple into its final arena slot in one parallel
-/// sweep.
+/// pass needs that does not already live in the reused
+/// [`ShuffleScratch`] (per-tuple destinations and the worker-major cursor
+/// table stay there).
 struct ShufflePlan {
-    /// Destination machine of every arena position.
-    dests: Vec<usize>,
-    /// Contiguous per-worker arena ranges (machine-aligned), matching
-    /// `cursors` index-for-index.
+    /// Contiguous per-worker arena ranges (machine-aligned), matching the
+    /// scratch cursor rows index-for-index.
     ranges: Vec<Range<usize>>,
-    /// Per-worker, per-destination exclusive-prefix-sum write cursors.
-    cursors: Vec<Vec<usize>>,
-    /// Output machine-offset table.
+    /// Output machine-offset table (owned: it becomes the result cluster's
+    /// offset table).
     dest_offsets: Vec<usize>,
 }
 
@@ -1076,6 +1364,100 @@ mod tests {
                 .unwrap();
             assert_eq!(a, b, "threads={threads}");
             assert_eq!(ctx_a.into_stats(), ctx_b.into_stats());
+        }
+    }
+
+    #[test]
+    fn radix_reduce_matches_hashmap_reference_exactly() {
+        // The sort-based aggregation must reproduce the retained hash-based
+        // reference bit for bit: same pairs, same order, same stats — on
+        // skewed, uniform and single-key workloads, at 1 and 4 threads.
+        let workloads: Vec<Vec<(u64, u64)>> = vec![
+            (0..1000).map(|i| (i % 37, i)).collect(),
+            (0..1000).map(|i| (i * i % 1000, i)).collect(),
+            (0..500).map(|_| (42, 1)).collect(),
+            Vec::new(),
+            // Keys spanning high bytes exercise the later radix passes.
+            (0..800).map(|i| ((i % 13) << 48 | (i % 7), i)).collect(),
+        ];
+        for tuples in workloads {
+            for threads in [1usize, 4] {
+                let cfg = MpcConfig::with_memory(1 << 14, 512).with_threads(threads);
+                let mut ctx_radix = MpcContext::new(cfg);
+                let mut ctx_hash = MpcContext::new(cfg);
+                let radix = Cluster::from_tuples(&cfg, tuples.clone())
+                    .reduce_by_key(
+                        &mut ctx_radix,
+                        |t| t.0,
+                        |k| k,
+                        |acc, t| *acc = acc.wrapping_add(t.1),
+                        |acc, b| *acc = acc.wrapping_mul(31).wrapping_add(b),
+                    )
+                    .unwrap();
+                let hash = Cluster::from_tuples(&cfg, tuples.clone())
+                    .reduce_by_key_hashmap(
+                        &mut ctx_hash,
+                        |t| t.0,
+                        |k| k,
+                        |acc, t| *acc = acc.wrapping_add(t.1),
+                        |acc, b| *acc = acc.wrapping_mul(31).wrapping_add(b),
+                    )
+                    .unwrap();
+                assert_eq!(radix, hash, "threads={threads}");
+                assert_eq!(ctx_radix.into_stats(), ctx_hash.into_stats());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shuffles_changes_nothing() {
+        // Run several shuffles and reductions back-to-back on ONE context
+        // (scratch reused) and compare each against a fresh-context run
+        // (scratch cold): outputs and per-call stats must be identical.
+        let cfg = MpcConfig::with_memory(1 << 14, 256)
+            .permissive()
+            .with_threads(4);
+        let mut warm = MpcContext::new(cfg);
+        for round in 0..4u64 {
+            let tuples: Vec<(u64, u64)> = (0..1500)
+                .map(|i| ((i * (round + 3)) % (11 + 60 * round), i))
+                .collect();
+            let mut cold = MpcContext::new(cfg);
+            let warm_before = warm.stats().clone();
+            let a = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_by_key(&mut warm, |t| t.0)
+                .unwrap();
+            let b = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_by_key(&mut cold, |t| t.0)
+                .unwrap();
+            assert_eq!(a.offsets(), b.offsets(), "round {round}");
+            assert_eq!(a.gather(), b.gather(), "round {round}");
+            let mut cold2 = MpcContext::new(cfg);
+            let ra = Cluster::from_tuples(&cfg, tuples.clone())
+                .reduce_by_key(
+                    &mut warm,
+                    |t| t.0,
+                    |_| 0u64,
+                    |a, t| *a += t.1,
+                    |a, b| *a += b,
+                )
+                .unwrap();
+            let rb = Cluster::from_tuples(&cfg, tuples)
+                .reduce_by_key(
+                    &mut cold2,
+                    |t| t.0,
+                    |_| 0u64,
+                    |a, t| *a += t.1,
+                    |a, b| *a += b,
+                )
+                .unwrap();
+            assert_eq!(ra, rb, "round {round}");
+            // The warm context charged exactly what the two cold ones did.
+            let warm_after = warm.stats();
+            assert_eq!(
+                warm_after.total_rounds() - warm_before.total_rounds(),
+                cold.stats().total_rounds() + cold2.stats().total_rounds()
+            );
         }
     }
 

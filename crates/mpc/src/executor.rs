@@ -206,31 +206,78 @@ impl Executor {
         U: Send,
         F: Fn(usize, &mut [T]) -> U + Sync,
     {
-        let mut expected = 0usize;
-        for r in ranges {
-            assert_eq!(r.start, expected, "ranges must tile the data in order");
-            assert!(r.end >= r.start, "ranges must be ascending");
-            expected = r.end;
+        // The single-buffer pass is the pair pass with an empty companion
+        // (zero-length ranges trivially tile an empty slice), so validation
+        // and carving live in exactly one place.
+        let mut empty: [(); 0] = [];
+        let empty_ranges = vec![0..0; ranges.len()];
+        self.map_slices_mut_pair(data, ranges, &mut empty, &empty_ranges, |i, chunk, _| {
+            f(i, chunk)
+        })
+    }
+
+    /// Like [`Executor::map_slices_mut`], but carving **two** buffers at
+    /// once: worker `i` receives `a[a_ranges[i]]` and `b[b_ranges[i]]` as
+    /// disjoint mutable chunks. Both range lists must tile their buffers
+    /// exactly and have the same length (one pair per worker). This is the
+    /// primitive behind the counting shuffle's single-sweep pass that fills
+    /// the destination table and the per-worker histograms together without
+    /// allocating either.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range lists have different lengths or either fails to
+    /// tile its buffer.
+    pub fn map_slices_mut_pair<T1, T2, U, F>(
+        &self,
+        a: &mut [T1],
+        a_ranges: &[Range<usize>],
+        b: &mut [T2],
+        b_ranges: &[Range<usize>],
+        f: F,
+    ) -> Vec<U>
+    where
+        T1: Send,
+        T2: Send,
+        U: Send,
+        F: Fn(usize, &mut [T1], &mut [T2]) -> U + Sync,
+    {
+        assert_eq!(
+            a_ranges.len(),
+            b_ranges.len(),
+            "one range pair per worker required"
+        );
+        for (ranges, len) in [(a_ranges, a.len()), (b_ranges, b.len())] {
+            let mut expected = 0usize;
+            for r in ranges {
+                assert_eq!(r.start, expected, "ranges must tile the data in order");
+                assert!(r.end >= r.start, "ranges must be ascending");
+                expected = r.end;
+            }
+            assert_eq!(expected, len, "ranges must cover the data exactly");
         }
-        assert_eq!(expected, data.len(), "ranges must cover the data exactly");
-        if self.threads <= 1 || ranges.len() <= 1 {
-            let mut out = Vec::with_capacity(ranges.len());
-            let mut rest = data;
-            for (i, r) in ranges.iter().enumerate() {
-                let (head, tail) = rest.split_at_mut(r.len());
-                rest = tail;
-                out.push(f(i, head));
+        if self.threads <= 1 || a_ranges.len() <= 1 {
+            let mut out = Vec::with_capacity(a_ranges.len());
+            let (mut rest_a, mut rest_b) = (a, b);
+            for (i, (ra, rb)) in a_ranges.iter().zip(b_ranges).enumerate() {
+                let (head_a, tail_a) = rest_a.split_at_mut(ra.len());
+                let (head_b, tail_b) = rest_b.split_at_mut(rb.len());
+                rest_a = tail_a;
+                rest_b = tail_b;
+                out.push(f(i, head_a, head_b));
             }
             return out;
         }
         let f = &f;
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(ranges.len());
-            let mut rest = data;
-            for (i, r) in ranges.iter().enumerate() {
-                let (head, tail) = rest.split_at_mut(r.len());
-                rest = tail;
-                handles.push(scope.spawn(move || f(i, head)));
+            let mut handles = Vec::with_capacity(a_ranges.len());
+            let (mut rest_a, mut rest_b) = (a, b);
+            for (i, (ra, rb)) in a_ranges.iter().zip(b_ranges).enumerate() {
+                let (head_a, tail_a) = rest_a.split_at_mut(ra.len());
+                let (head_b, tail_b) = rest_b.split_at_mut(rb.len());
+                rest_a = tail_a;
+                rest_b = tail_b;
+                handles.push(scope.spawn(move || f(i, head_a, head_b)));
             }
             handles
                 .into_iter()
@@ -385,6 +432,37 @@ mod tests {
             let ranges = Executor::threaded(threads).map_ranges(100, |r| r.collect::<Vec<_>>());
             let flat: Vec<usize> = ranges.into_iter().flatten().collect();
             assert_eq!(flat, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_slices_mut_pair_carves_both_buffers_disjointly() {
+        for threads in [1usize, 4] {
+            let exec = Executor::threaded(threads);
+            let mut data = vec![0u64; 100];
+            let mut acc = vec![0u64; 8];
+            let data_ranges = vec![0..25, 25..60, 60..60, 60..100];
+            let acc_ranges = vec![0..2, 2..4, 4..6, 6..8];
+            let sums = exec.map_slices_mut_pair(
+                &mut data,
+                &data_ranges,
+                &mut acc,
+                &acc_ranges,
+                |w, chunk, slot| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (w * 1000 + j) as u64;
+                        slot[0] += *x;
+                    }
+                    slot[1] = chunk.len() as u64;
+                    slot[0]
+                },
+            );
+            assert_eq!(sums.len(), 4, "threads={threads}");
+            assert_eq!(acc[1], 25);
+            assert_eq!(acc[5], 0);
+            assert_eq!(acc[7], 40);
+            assert_eq!(data[25], 1000);
+            assert_eq!(sums[2], 0);
         }
     }
 

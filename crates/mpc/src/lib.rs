@@ -55,6 +55,7 @@ pub mod cluster;
 pub mod config;
 pub mod executor;
 pub mod primitives;
+mod radix;
 pub mod stats;
 
 pub use crate::cluster::{Cluster, KeyedTuple};

@@ -9,12 +9,13 @@
 
 use crate::config::{MpcConfig, MpcError};
 use crate::executor::Executor;
+use crate::radix::ShuffleScratch;
 
 use serde::{Deserialize, Serialize};
 
 /// Resource usage of one named phase of an algorithm (e.g. "regularize",
-/// "random-walks", "grow-components").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// "randomize", "grow-components").
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhaseStats {
     /// Phase name.
     pub name: String,
@@ -22,7 +23,25 @@ pub struct PhaseStats {
     pub rounds: u64,
     /// Words of cross-machine communication charged during the phase.
     pub communication_words: u64,
+    /// Wall-clock time spent inside the phase, in milliseconds (the
+    /// simulator's practical cost, *not* a model quantity). **Excluded from
+    /// equality**: `PhaseStats` / `RoundStats` comparisons cover only the
+    /// model-level fields, so the cross-backend determinism contract
+    /// ("bit-identical stats for every thread count") is unaffected by
+    /// timing jitter.
+    pub wall_time_ms: f64,
 }
+
+impl PartialEq for PhaseStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.rounds == other.rounds
+            && self.communication_words == other.communication_words
+    }
+}
+
+// Equality is total over the compared (non-timing) fields.
+impl Eq for PhaseStats {}
 
 /// Aggregate resource usage of an algorithm run on the simulated cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -70,6 +89,22 @@ impl RoundStats {
             .sum()
     }
 
+    /// Wall-clock milliseconds spent in the phase with the given name
+    /// (summed over repeats). A simulator-cost observable, not a model
+    /// quantity — see [`PhaseStats::wall_time_ms`].
+    pub fn wall_time_in_phase_ms(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.wall_time_ms)
+            .sum()
+    }
+
+    /// Total wall-clock milliseconds across all recorded phases.
+    pub fn total_phase_wall_time_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_time_ms).sum()
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -97,6 +132,12 @@ pub struct MpcContext {
     executor: Executor,
     stats: RoundStats,
     current_phase: Option<PhaseStats>,
+    /// Start instant of the open phase (drives [`PhaseStats::wall_time_ms`]).
+    phase_started: Option<std::time::Instant>,
+    /// Reusable shuffle/reduce scratch (histograms, cursor tables, cached
+    /// keys), handed to `Cluster` operations so successive rounds on this
+    /// context reallocate nothing. Cold after `clone()`.
+    scratch: ShuffleScratch,
 }
 
 impl MpcContext {
@@ -114,7 +155,23 @@ impl MpcContext {
             executor: config.executor(),
             stats: RoundStats::default(),
             current_phase: None,
+            phase_started: None,
+            scratch: ShuffleScratch::default(),
         }
+    }
+
+    /// Takes the reusable scratch out of the context for the duration of one
+    /// cluster operation (so the operation can borrow both the scratch and
+    /// the context's accounting API); pair with
+    /// [`MpcContext::restore_scratch`].
+    pub(crate) fn take_scratch(&mut self) -> ShuffleScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns the scratch taken by [`MpcContext::take_scratch`], preserving
+    /// its grown buffers for the next operation.
+    pub(crate) fn restore_scratch(&mut self, scratch: ShuffleScratch) {
+        self.scratch = scratch;
     }
 
     /// The cluster configuration.
@@ -140,19 +197,26 @@ impl MpcContext {
         self.stats
     }
 
-    /// Starts a named phase; any previously open phase is closed first.
+    /// Starts a named phase; any previously open phase is closed first. The
+    /// phase records the paper's model quantities (rounds, words) *and* the
+    /// wall-clock time until the matching [`MpcContext::end_phase`].
     pub fn begin_phase(&mut self, name: &str) {
         self.end_phase();
         self.current_phase = Some(PhaseStats {
             name: name.to_string(),
             rounds: 0,
             communication_words: 0,
+            wall_time_ms: 0.0,
         });
+        self.phase_started = Some(std::time::Instant::now());
     }
 
     /// Closes the current phase (no-op if none is open).
     pub fn end_phase(&mut self) {
-        if let Some(phase) = self.current_phase.take() {
+        if let Some(mut phase) = self.current_phase.take() {
+            if let Some(started) = self.phase_started.take() {
+                phase.wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+            }
             self.stats.phases.push(phase);
         }
     }
@@ -414,6 +478,32 @@ mod tests {
         let mut c = MpcContext::new(config);
         assert!(c.record_balanced_load(100).is_ok());
         assert!(c.record_balanced_load(101).is_err());
+    }
+
+    #[test]
+    fn phase_wall_time_is_recorded_but_excluded_from_equality() {
+        let mut a = ctx(64);
+        a.begin_phase("walks");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        a.charge(1, 10);
+        a.end_phase();
+        let stats_a = a.into_stats();
+        assert!(stats_a.wall_time_in_phase_ms("walks") > 0.0);
+        assert!(stats_a.total_phase_wall_time_ms() >= stats_a.wall_time_in_phase_ms("walks"));
+
+        // A second run of the same phase takes a different wall time, but the
+        // stats still compare equal: timing is an observable, not part of the
+        // determinism contract.
+        let mut b = ctx(64);
+        b.begin_phase("walks");
+        b.charge(1, 10);
+        b.end_phase();
+        let stats_b = b.into_stats();
+        assert_ne!(
+            stats_a.phases()[0].wall_time_ms,
+            stats_b.phases()[0].wall_time_ms
+        );
+        assert_eq!(stats_a, stats_b);
     }
 
     #[test]

@@ -127,6 +127,58 @@ fn reduce_by_key_charges_the_overridden_word_width() {
     assert!(stats_borrow.total_communication_words() > 0);
 }
 
+mod reduce_matches_hashmap_spec {
+    //! Differential property test: the sort-based `reduce_by_key` must be
+    //! output-identical — pairs, order and statistics — to the retained
+    //! hash-based reference on arbitrary keyed workloads.
+
+    use proptest::prelude::*;
+    use wcc_mpc::{Cluster, MpcConfig, MpcContext};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn radix_reduce_is_output_identical_to_hashmap_reference(
+            tuples in proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 0..800),
+            key_stride in 1u64..(1 << 40),
+            machines in 1usize..48,
+            threads in 1usize..5,
+        ) {
+            let cfg = MpcConfig::with_memory(1 << 16, 2048)
+                .permissive()
+                .with_machines(machines)
+                .with_threads(threads);
+            // Stretch keys across high bytes so later radix passes engage.
+            let key = move |t: &(u64, u64)| t.0.wrapping_mul(key_stride);
+            let mut ctx_radix = MpcContext::new(cfg);
+            let mut ctx_hash = MpcContext::new(cfg);
+            // A non-commutative fold/combine pair makes any ordering drift
+            // visible in the values, not just the pair order.
+            let radix = Cluster::from_tuples(&cfg, tuples.clone())
+                .reduce_by_key(
+                    &mut ctx_radix,
+                    key,
+                    |k| k,
+                    |acc, t| *acc = acc.wrapping_mul(1_000_003).wrapping_add(t.1),
+                    |acc, b| *acc = acc.wrapping_mul(31).wrapping_add(b),
+                )
+                .unwrap();
+            let hash = Cluster::from_tuples(&cfg, tuples)
+                .reduce_by_key_hashmap(
+                    &mut ctx_hash,
+                    key,
+                    |k| k,
+                    |acc, t| *acc = acc.wrapping_mul(1_000_003).wrapping_add(t.1),
+                    |acc, b| *acc = acc.wrapping_mul(31).wrapping_add(b),
+                )
+                .unwrap();
+            prop_assert_eq!(radix, hash);
+            prop_assert_eq!(ctx_radix.into_stats(), ctx_hash.into_stats());
+        }
+    }
+}
+
 #[test]
 fn gather_after_chain_preserves_tuples() {
     // End-to-end sanity: a chain across all op families loses no tuples and

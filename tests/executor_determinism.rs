@@ -111,6 +111,58 @@ fn adaptive_components_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The zero-materialisation walk engine (Step 2's hot path): the flat
+/// endpoint arena produced by `independent_lazy_walks` against the virtual
+/// `LazyView` must be bit-identical across thread counts — and bit-identical
+/// to simulating the same per-vertex streams on the *materialised*
+/// `with_self_loops` graph, which is the executable spec the lazy view
+/// replaces.
+#[test]
+fn lazy_walk_engine_is_bit_identical_across_thread_counts() {
+    use rand::Rng;
+    use wcc_core::walks::{direct_walk_endpoint, independent_lazy_walks, WalkMode};
+    use wcc_mpc::{derive_stream_seed, MpcConfig, MpcContext};
+
+    for seed in SEEDS {
+        let mut graph_rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = wcc_graph::generators::random_regular_permutation_graph(200, 8, &mut graph_rng);
+        let (t, k) = (24usize, 3usize);
+
+        // Reference: per-vertex ChaCha8 streams on the materialised graph.
+        let delta = g.max_degree();
+        let lazy_materialized = g.with_self_loops(delta);
+        let mut master = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+        let base = master.gen::<u64>();
+        let mut expected = Vec::with_capacity(200 * k);
+        for v in 0..g.num_vertices() {
+            let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
+            for _ in 0..k {
+                expected.push(direct_walk_endpoint(&lazy_materialized, v, t, &mut vrng));
+            }
+        }
+
+        let mut all_stats = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let cfg = MpcConfig::for_input_size(4 * g.num_edges(), 0.5)
+                .permissive()
+                .with_threads(threads);
+            let mut ctx = MpcContext::new(cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED);
+            let endpoints =
+                independent_lazy_walks(&g, t, k, WalkMode::Direct, 2, &mut ctx, &mut rng)
+                    .expect("regular graph");
+            assert_eq!(
+                endpoints, expected,
+                "walk endpoints diverged from the materialised reference \
+                 (seed {seed}, threads {threads})"
+            );
+            all_stats.push(ctx.into_stats());
+        }
+        assert_eq!(all_stats[0], all_stats[1], "stats diverged at 2 threads");
+        assert_eq!(all_stats[0], all_stats[2], "stats diverged at 8 threads");
+    }
+}
+
 /// The flat-arena counting shuffle must be bit-identical across thread
 /// counts *and* must reproduce the reference semantics exactly: within each
 /// destination machine, tuples appear in global source order (machine-major
