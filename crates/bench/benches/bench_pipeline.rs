@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the end-to-end algorithms: the paper's pipeline
 //! (Theorem 4), the adaptive variant (Corollary 7.1), the sublinear-space
 //! algorithm (Theorem 2) and the classical baselines, all on the same
-//! planted-expander workload — plus the two groups recorded in
+//! planted-expander workload — plus the three groups recorded in
 //! `BENCH_pipeline.json` at the workspace root:
 //!
 //! * **pipeline_adaptive_e2e** — the adaptive pipeline on a ~10⁵-edge
@@ -12,7 +12,10 @@
 //!   (`reduce_by_key`) against the retained hash-based reference
 //!   (`reduce_by_key_hashmap`) at 10⁵–10⁶ tuples. Outputs are asserted
 //!   bit-identical before timing, so any difference is pure aggregation
-//!   machinery.
+//!   machinery;
+//! * **stream_ingest** — the incremental engine's union-find fast path
+//!   against per-batch full recompute on a merge-free streaming batch
+//!   schedule (end labellings asserted identical before timing).
 //!
 //! Wall-clock time is *not* the quantity the paper bounds (rounds are — see
 //! the `exp_*` binaries); these benchmarks exist to track the simulator's
@@ -204,11 +207,101 @@ fn bench_reduce_radix_vs_hashmap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming ingestion: the union-find fast path against per-batch full
+/// recompute on a merge-free batch schedule (the `stream_ingest` group
+/// recorded in `BENCH_pipeline.json`).
+///
+/// Both arms start from the same pre-bootstrapped engine (the bootstrap
+/// pipeline run is setup, not the thing measured) and replay the same eight
+/// merge-free traffic batches; the only difference is
+/// [`StreamParams::fast_path`]. The fast arm's cost is eight union-find
+/// passes; the slow arm pays eight full Theorem-4 recomputes — the
+/// "recompute from scratch every batch" strawman the incremental engine
+/// exists to beat. End labellings are asserted identical before timing.
+fn bench_stream_ingest(c: &mut Criterion) {
+    use wcc_core::stream::{IncrementalComponents, StreamParams};
+
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // ~4000-edge base graph: two planted expander components.
+    let g = planted(1_000, 11);
+    let bootstrap: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+    let n = g.num_vertices() as u64;
+    // Eight merge-free traffic batches: random intra-component edges within
+    // the first component (vertices 0..n/2).
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let batches: Vec<Vec<(u64, u64)>> = (0..8)
+        .map(|_| {
+            (0..400)
+                .map(|_| {
+                    use rand::Rng;
+                    (rng.gen_range(0..n / 2), rng.gen_range(0..n / 2))
+                })
+                .collect()
+        })
+        .collect();
+
+    let params = StreamParams::laptop_scale().with_lambda(0.3);
+    let mut fast_base = IncrementalComponents::new(params, 7);
+    fast_base.apply_batch(&bootstrap).unwrap();
+    let mut slow_base = IncrementalComponents::new(params.with_fast_path(false), 7);
+    slow_base.apply_batch(&bootstrap).unwrap();
+
+    // Differential check once, before any timing: identical partitions and
+    // a genuinely merge-free schedule (the fast arm must never recompute).
+    {
+        let mut fast = fast_base.clone();
+        let mut slow = slow_base.clone();
+        for batch in &batches {
+            let r = fast.apply_batch(batch).unwrap();
+            assert!(r.path.is_fast(), "schedule is not merge-free: {:?}", r.path);
+            slow.apply_batch(batch).unwrap();
+        }
+        assert!(
+            fast.labels().same_partition(&slow.labels()),
+            "fast path drifted from per-batch recompute"
+        );
+    }
+
+    let total_edges: usize = batches.iter().map(Vec::len).sum();
+    group.bench_with_input(
+        BenchmarkId::new("fast_path", total_edges),
+        &batches,
+        |b, batches| {
+            b.iter(|| {
+                let mut engine = fast_base.clone();
+                for batch in batches {
+                    engine.apply_batch(batch).unwrap();
+                }
+                engine.num_components()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("full_recompute_per_batch", total_edges),
+        &batches,
+        |b, batches| {
+            b.iter(|| {
+                let mut engine = slow_base.clone();
+                for batch in batches {
+                    engine.apply_batch(batch).unwrap();
+                }
+                engine.num_components()
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline_vs_baselines,
     bench_growth_stage,
     bench_adaptive_pipeline_large,
-    bench_reduce_radix_vs_hashmap
+    bench_reduce_radix_vs_hashmap,
+    bench_stream_ingest
 );
 criterion_main!(benches);

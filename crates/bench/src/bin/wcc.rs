@@ -5,6 +5,9 @@
 //!   wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]
 //!                        [--lambda <gap>] [--memory <words>] [--seed <u64>]
 //!                        [--threads <n>] [--sizes] [--json]
+//!   wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]
+//!                           [--no-fast-path] [--sizes] [--json]
+//!   wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]
 //!
 //! The edge-list format is one `u v` pair per line; `#`/`%` lines are comments.
 //! Prints the number of components, the simulated MPC rounds, and (with
@@ -12,11 +15,21 @@
 //! machine-readable result record on stdout instead (the `exp_*` binaries
 //! and external scripts consume this rather than scraping the human
 //! output).
+//!
+//! `wcc stream` replays a batch schedule in the binary chunk format (magic
+//! `WCCS`, see `wcc_graph::io`) through the incremental engine: chunks are
+//! decoded in parallel through the executor, each chunk is one batch, and
+//! the per-batch path (union-find fast path vs full pipeline recompute),
+//! rounds, words and wall time are reported — in a `batches` array inside
+//! the same `--json` record the one-shot modes emit. `wcc pack` converts a
+//! text edge list into that format.
 //! ```
 //!
 //! Example:
 //! ```text
 //! cargo run --release -p wcc-bench --bin wcc -- my_graph.txt --algorithm adaptive --sizes
+//! cargo run --release -p wcc-bench --bin wcc -- pack my_graph.txt batches.wccs --batch-size 1000
+//! cargo run --release -p wcc-bench --bin wcc -- stream batches.wccs --json
 //! ```
 
 use std::process::ExitCode;
@@ -27,16 +40,35 @@ use wcc_baselines::run_baseline;
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{MpcConfig, MpcContext, PhaseStats, RoundStats};
+use wcc_mpc::{Executor, MpcConfig, MpcContext, PhaseStats, RoundStats};
+
+#[derive(PartialEq)]
+enum Mode {
+    /// One-shot: load an edge list, run one algorithm.
+    Run,
+    /// Replay a binary batch schedule through the incremental engine.
+    Stream,
+    /// Convert a text edge list into the binary chunk format.
+    Pack,
+}
 
 struct Options {
+    mode: Mode,
     path: String,
+    /// `pack` only: the output chunk file.
+    out_path: String,
+    /// `pack` only: edges per chunk.
+    batch_size: usize,
     algorithm: String,
     lambda: f64,
     memory: usize,
     seed: u64,
     /// Execution-backend worker threads (0 = resolve from WCC_THREADS).
     threads: usize,
+    /// `stream` only: disable the union-find fast path (every batch then
+    /// recomputes, which is the slow baseline the fast path is benched
+    /// against).
+    fast_path: bool,
     show_sizes: bool,
     json: bool,
 }
@@ -67,27 +99,104 @@ struct JsonReport {
     /// wall-clock share of the run, a simulator observable rather than a
     /// model quantity). Absent for the sequential reference.
     phases: Option<Vec<PhaseStats>>,
+    /// Per-batch breakdown of a `wcc stream` replay; `null` for the one-shot
+    /// modes.
+    batches: Option<Vec<JsonBatch>>,
     /// Component size histogram (descending); `null` unless `--sizes`.
     component_sizes: Option<Vec<usize>>,
+}
+
+/// One `wcc stream` batch in the `--json` record: the same quantities the
+/// run-level record reports (rounds/words/wall time), per batch, plus the
+/// path the incremental engine took.
+#[derive(Serialize)]
+struct JsonBatch {
+    index: usize,
+    edges: usize,
+    new_vertices: usize,
+    standing_merges: usize,
+    /// `"fast-path"` or `"recompute:<reason>"`.
+    path: String,
+    components_after: usize,
+    rounds: u64,
+    communication_words: u64,
+    wall_time_ms: f64,
+}
+
+impl From<&BatchReport> for JsonBatch {
+    fn from(r: &BatchReport) -> Self {
+        JsonBatch {
+            index: r.batch_index,
+            edges: r.edges_in_batch,
+            new_vertices: r.new_vertices,
+            standing_merges: r.standing_merges,
+            path: r.path.label().to_string(),
+            components_after: r.components_after,
+            rounds: r.rounds,
+            communication_words: r.communication_words,
+            wall_time_ms: r.wall_time_ms,
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
+        mode: Mode::Run,
         path: String::new(),
+        out_path: String::new(),
+        batch_size: 4096,
         algorithm: "wcc".to_string(),
         lambda: 0.25,
         memory: 0,
         seed: 7,
         threads: 0,
+        fast_path: true,
         show_sizes: false,
         json: false,
     };
+    let mut positionals_seen = 0usize;
+    let mut flags_seen: Vec<&'static str> = Vec::new();
     while let Some(arg) = args.next() {
+        if let Some(flag) = [
+            "--algorithm",
+            "--batch-size",
+            "--no-fast-path",
+            "--lambda",
+            "--memory",
+            "--seed",
+            "--threads",
+            "--sizes",
+            "--json",
+        ]
+        .into_iter()
+        .find(|f| *f == arg.as_str())
+        {
+            flags_seen.push(flag);
+        }
         match arg.as_str() {
+            "stream" if positionals_seen == 0 => {
+                opts.mode = Mode::Stream;
+                positionals_seen += 1;
+            }
+            "pack" if positionals_seen == 0 => {
+                opts.mode = Mode::Pack;
+                positionals_seen += 1;
+            }
             "--algorithm" => {
                 opts.algorithm = args.next().ok_or("--algorithm needs a value")?;
             }
+            "--batch-size" => {
+                opts.batch_size = args
+                    .next()
+                    .ok_or("--batch-size needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-size: {e}"))?;
+                if opts.batch_size == 0 {
+                    return Err("--batch-size must be at least 1".to_string());
+                }
+            }
+            "--no-fast-path" => opts.fast_path = false,
             "--lambda" => {
                 opts.lambda = args
                     .next()
@@ -121,12 +230,60 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => return Err("help".to_string()),
             other if opts.path.is_empty() && !other.starts_with('-') => {
                 opts.path = other.to_string();
+                positionals_seen += 1;
+            }
+            other
+                if opts.mode == Mode::Pack
+                    && opts.out_path.is_empty()
+                    && !other.starts_with('-') =>
+            {
+                opts.out_path = other.to_string();
+                positionals_seen += 1;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if opts.path.is_empty() {
-        return Err("missing <edge-list-file>".to_string());
+        return Err(match opts.mode {
+            Mode::Run => "missing <edge-list-file>".to_string(),
+            Mode::Stream => "missing <chunk-file>".to_string(),
+            Mode::Pack => "missing <edge-list-file> and <chunk-file>".to_string(),
+        });
+    }
+    if opts.mode == Mode::Pack && opts.out_path.is_empty() {
+        return Err("pack: missing output <chunk-file>".to_string());
+    }
+    // Reject flags the selected mode never reads — silently ignoring
+    // `--memory` on `wcc stream` (say) would let the user believe the budget
+    // was applied when it was not.
+    let (mode_name, applicable): (&str, &[&str]) = match opts.mode {
+        Mode::Run => (
+            "wcc <edge-list-file>",
+            &[
+                "--algorithm",
+                "--lambda",
+                "--memory",
+                "--seed",
+                "--threads",
+                "--sizes",
+                "--json",
+            ],
+        ),
+        Mode::Stream => (
+            "wcc stream",
+            &[
+                "--lambda",
+                "--seed",
+                "--threads",
+                "--no-fast-path",
+                "--sizes",
+                "--json",
+            ],
+        ),
+        Mode::Pack => ("wcc pack", &["--batch-size"]),
+    };
+    if let Some(flag) = flags_seen.iter().find(|f| !applicable.contains(f)) {
+        return Err(format!("{flag} is not applicable to `{mode_name}`"));
     }
     Ok(opts)
 }
@@ -135,8 +292,164 @@ fn usage() {
     eprintln!(
         "usage: wcc <edge-list-file> [--algorithm wcc|adaptive|sublinear|hash-to-min|union-find]\n\
          \x20          [--lambda <gap>] [--memory <words>] [--seed <u64>]\n\
-         \x20          [--threads <n>] [--sizes] [--json]"
+         \x20          [--threads <n>] [--sizes] [--json]\n\
+         \x20      wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]\n\
+         \x20          [--no-fast-path] [--sizes] [--json]\n\
+         \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]"
     );
+}
+
+/// Component-size histogram for `--sizes`, largest component first (`None`
+/// when the flag is off).
+fn sorted_sizes(labels: &ComponentLabels, show_sizes: bool) -> Option<Vec<usize>> {
+    show_sizes.then(|| {
+        let mut sizes = labels.component_sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    })
+}
+
+/// Prints the one-line machine-readable record for `--json`.
+fn emit_json(report: &JsonReport) -> ExitCode {
+    match serde_json::to_string(report) {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize result: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints the truncated `--sizes` histogram of the human-readable output.
+fn print_largest_sizes(sizes: &[usize]) {
+    println!(
+        "largest component sizes: {:?}",
+        &sizes[..sizes.len().min(20)]
+    );
+}
+
+/// `wcc pack`: text edge list → binary chunk stream (original ids are
+/// preserved verbatim, one chunk per `--batch-size` edges).
+fn run_pack(opts: &Options) -> ExitCode {
+    let loaded = match read_edge_list_file(std::path::Path::new(&opts.path)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let raw_edges: Vec<(u64, u64)> = loaded
+        .graph
+        .edge_iter()
+        .map(|(u, v)| (loaded.original_ids[u], loaded.original_ids[v]))
+        .collect();
+    let chunks: Vec<&[(u64, u64)]> = raw_edges.chunks(opts.batch_size).collect();
+    if let Err(e) = write_edge_chunks_file(&chunks, std::path::Path::new(&opts.out_path)) {
+        eprintln!("error: cannot write {}: {e}", opts.out_path);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "packed {} edges into {} chunks of <= {} edges: {}",
+        raw_edges.len(),
+        chunks.len(),
+        opts.batch_size,
+        opts.out_path
+    );
+    ExitCode::SUCCESS
+}
+
+/// `wcc stream`: replay a binary batch schedule through the incremental
+/// engine, reporting per-batch paths and costs.
+fn run_stream(opts: &Options) -> ExitCode {
+    let exec = Executor::resolve(opts.threads);
+    let batches = match wcc_mpc::stream::read_edge_chunks_file_parallel(
+        std::path::Path::new(&opts.path),
+        &exec,
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !opts.json {
+        println!(
+            "loaded {}: {} batches, {} edges",
+            opts.path,
+            batches.len(),
+            batches.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    let params = StreamParams::laptop_scale()
+        .with_lambda(opts.lambda)
+        .with_fast_path(opts.fast_path)
+        .with_threads(opts.threads);
+    let mut engine = IncrementalComponents::new(params, opts.seed);
+    let started = Instant::now();
+    let reports = match engine.apply_schedule(&batches) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+    let labels = engine.labels();
+    let stats = engine.stats();
+    let sizes = sorted_sizes(&labels, opts.show_sizes);
+
+    if opts.json {
+        return emit_json(&JsonReport {
+            algorithm: "stream".to_string(),
+            input: opts.path.clone(),
+            vertices: engine.num_vertices(),
+            edges: engine.num_edges(),
+            seed: opts.seed,
+            components: labels.num_components(),
+            total_rounds: Some(stats.total_rounds()),
+            communication_words: Some(stats.total_communication_words()),
+            max_machine_load_words: Some(stats.max_machine_load_words()),
+            memory_violations: Some(stats.memory_violations()),
+            wall_time_ms,
+            phases: Some(stats.phases().to_vec()),
+            batches: Some(reports.iter().map(JsonBatch::from).collect()),
+            component_sizes: sizes,
+        });
+    }
+
+    for r in &reports {
+        println!(
+            "batch {:>4}: {:>7} edges, {:>6} new vertices, {:>3} standing merges -> {:<32} \
+             ({} rounds, {} words, {:.1} ms)",
+            r.batch_index,
+            r.edges_in_batch,
+            r.new_vertices,
+            r.standing_merges,
+            r.path.label(),
+            r.rounds,
+            r.communication_words,
+            r.wall_time_ms
+        );
+    }
+    let fast = reports.iter().filter(|r| r.path.is_fast()).count();
+    println!(
+        "replayed {} batches ({} fast-path, {} recomputes): {} vertices, {} edges",
+        reports.len(),
+        fast,
+        engine.recomputes(),
+        engine.num_vertices(),
+        engine.num_edges()
+    );
+    println!("components: {}", labels.num_components());
+    println!("simulated MPC rounds: {}", stats.total_rounds());
+    if let Some(sizes) = sizes {
+        print_largest_sizes(&sizes);
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -150,6 +463,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match opts.mode {
+        Mode::Run => {}
+        Mode::Stream => return run_stream(&opts),
+        Mode::Pack => return run_pack(&opts),
+    }
     let loaded = match read_edge_list_file(std::path::Path::new(&opts.path)) {
         Ok(l) => l,
         Err(e) => {
@@ -228,15 +546,10 @@ fn main() -> ExitCode {
         }
     };
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
-
-    let sizes = opts.show_sizes.then(|| {
-        let mut sizes = labels.component_sizes();
-        sizes.sort_unstable_by(|a, b| b.cmp(a));
-        sizes
-    });
+    let sizes = sorted_sizes(&labels, opts.show_sizes);
 
     if opts.json {
-        let report = JsonReport {
+        return emit_json(&JsonReport {
             algorithm: opts.algorithm.clone(),
             input: opts.path.clone(),
             vertices: g.num_vertices(),
@@ -249,16 +562,9 @@ fn main() -> ExitCode {
             memory_violations: stats.as_ref().map(RoundStats::memory_violations),
             wall_time_ms,
             phases: stats.as_ref().map(|s| s.phases().to_vec()),
+            batches: None,
             component_sizes: sizes,
-        };
-        match serde_json::to_string(&report) {
-            Ok(line) => println!("{line}"),
-            Err(e) => {
-                eprintln!("error: cannot serialize result: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        return ExitCode::SUCCESS;
+        });
     }
 
     println!("components: {}", labels.num_components());
@@ -267,10 +573,7 @@ fn main() -> ExitCode {
         None => println!("simulated MPC rounds: n/a (sequential reference)"),
     }
     if let Some(sizes) = sizes {
-        println!(
-            "largest component sizes: {:?}",
-            &sizes[..sizes.len().min(20)]
-        );
+        print_largest_sizes(&sizes);
     }
     ExitCode::SUCCESS
 }

@@ -55,6 +55,7 @@ pub mod params;
 pub mod pipeline;
 pub mod products;
 pub mod regularize;
+pub mod stream;
 pub mod sublinear;
 pub mod walks;
 
@@ -63,6 +64,9 @@ pub use crate::pipeline::{
     adaptive_components, well_connected_components, AdaptiveResult, PipelineReport, WccResult,
 };
 pub use crate::regularize::{CoreError, RegularizedGraph};
+pub use crate::stream::{
+    BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
+};
 pub use crate::sublinear::{sublinear_components, SublinearParams, SublinearResult};
 
 /// Convenient glob-import of the most commonly used items.
@@ -72,5 +76,8 @@ pub mod prelude {
         adaptive_components, well_connected_components, AdaptiveResult, PipelineReport, WccResult,
     };
     pub use crate::regularize::{regularize, CoreError, RegularizedGraph};
+    pub use crate::stream::{
+        BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
+    };
     pub use crate::sublinear::{sublinear_components, SublinearParams, SublinearResult};
 }

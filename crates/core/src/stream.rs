@@ -1,0 +1,810 @@
+//! Streaming ingestion: incremental maintenance of the component labelling
+//! (and its well-connectedness certificate) under batched edge arrivals.
+//!
+//! Every other entry point in this workspace is one-shot — load a graph, run
+//! the pipeline once, print. [`IncrementalComponents`] instead *keeps* the
+//! decomposition alive between edge batches, following the classic
+//! fast-path/slow-path split for dynamic connectivity:
+//!
+//! * **Fast path** — a deterministic union–find pass over the current labels,
+//!   modelling the cheap concurrent label-merging of Liu–Tarjan (*Simple
+//!   Concurrent Labeling Algorithms for Connected Components*): each batch is
+//!   charged `O(1)` simulated rounds (route every edge to its endpoints'
+//!   label holders, broadcast the merge responses) and touches no walk or
+//!   leader-election machinery. The fast path is taken exactly when the batch
+//!   provably cannot have changed the maintained structure: no union joins
+//!   two *standing* components (components that both existed before the batch
+//!   began) and the well-connectedness certificate still holds.
+//! * **Slow path** — a full pipeline recompute
+//!   ([`well_connected_components_with_ctx`]) on the accumulated graph, i.e.
+//!   the paper's Theorem 4 run end to end, in the spirit of Behnezhad et
+//!   al.'s near-optimal recompute bound. The recompute's labels are adopted
+//!   as the authoritative decomposition, and the certificate thresholds are
+//!   refreshed from the new graph.
+//!
+//! ## The well-connectedness certificate
+//!
+//! The pipeline's guarantees rest on the components being well connected,
+//! and its Step-1 regularization rests on them being *almost regular*
+//! (Section 2 of the paper: degrees within `(1 ± ε)·d`). The certificate is
+//! the cheap incremental proxy for that premise: at every recompute, each
+//! component of at least [`StreamParams::certificate_min_component`] vertices
+//! is assigned a degree **cap** (`max(skew · avg + slack, current max)`)
+//! and a degree **floor** (`min(avg / skew, current min)`). Between
+//! recomputes only two kinds of vertices can cross a fixed threshold —
+//! degrees never decrease, so
+//!
+//! * an *existing* vertex can only violate the **cap** (a forming hub:
+//!   parallel-edge pile-ups that skew the degree distribution), and
+//! * a *newly arrived* vertex can only violate the **floor** (a pendant
+//!   tendril: attachments too sparse to preserve almost-regularity).
+//!
+//! Either violation escalates the batch to the slow path. Components built
+//! purely on the fast path since the last recompute (fresh arrivals that
+//! never merged into a standing component) carry trivial thresholds until
+//! the next recompute certifies them — the certificate tracks *degradation
+//! of certified structure*, not absolute quality of brand-new structure.
+//!
+//! Edges are add-only (the decremental side of dynamic connectivity is a
+//! different problem class); replaying a batch schedule and then asking for
+//! [`IncrementalComponents::labels`] is guaranteed to produce the exact
+//! connected components of the accumulated graph — the differential suite in
+//! `tests/streaming_differential.rs` pins this against from-scratch pipeline
+//! runs for every tested family, seed and thread count.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::params::Params;
+use crate::pipeline::{recommended_config, well_connected_components_with_ctx};
+use crate::regularize::CoreError;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wcc_graph::{ComponentLabels, Graph, UnionFind};
+use wcc_mpc::{MpcConfig, MpcContext, RoundStats};
+
+/// Tunables of the streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Parameters of the slow-path pipeline recompute (also carries the
+    /// worker-thread count used by both paths).
+    pub pipeline: Params,
+    /// Spectral-gap promise handed to every recompute.
+    pub lambda: f64,
+    /// Certificate skew `σ`: a certified component's degree cap is
+    /// `σ · avg + slack` and its floor is `avg / σ` (clamped so the state at
+    /// certification time is never already in violation).
+    pub certificate_degree_skew: f64,
+    /// Additive slack on the degree cap, in edges.
+    pub certificate_degree_slack: u32,
+    /// Components smaller than this are never certificate-checked (tiny
+    /// components are trivially irregular and trivially cheap to recompute).
+    pub certificate_min_component: usize,
+    /// When `false`, every non-empty batch escalates to a full recompute.
+    /// This exists for differential testing and benchmarking — it is the
+    /// "no incremental maintenance" strawman the fast path is measured
+    /// against.
+    pub fast_path: bool,
+}
+
+impl StreamParams {
+    /// Laptop-scale preset mirroring [`Params::laptop_scale`].
+    pub fn laptop_scale() -> Self {
+        StreamParams {
+            pipeline: Params::laptop_scale(),
+            lambda: 0.25,
+            certificate_degree_skew: 4.0,
+            certificate_degree_slack: 8,
+            certificate_min_component: 8,
+            fast_path: true,
+        }
+    }
+
+    /// Test-scale preset mirroring [`Params::test_scale`].
+    pub fn test_scale() -> Self {
+        StreamParams {
+            pipeline: Params::test_scale(),
+            ..StreamParams::laptop_scale()
+        }
+    }
+
+    /// Returns a copy using the given number of worker threads (`1` =
+    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pipeline.threads = threads;
+        self
+    }
+
+    /// Returns a copy with the given spectral-gap promise.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Returns a copy with the fast path enabled or disabled.
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
+    }
+}
+
+/// Why a batch escalated to the slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeReason {
+    /// The first non-empty batch: establishes the initial decomposition and
+    /// certificate.
+    Bootstrap,
+    /// The batch merged two standing components (components that both
+    /// existed before the batch began).
+    StandingMerge,
+    /// The batch pushed a certified component outside its degree cap/floor.
+    CertificateViolation,
+    /// The fast path is disabled ([`StreamParams::fast_path`] is `false`).
+    FastPathDisabled,
+}
+
+/// Which path a batch took through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPath {
+    /// Union–find label maintenance only; no pipeline work.
+    FastPath,
+    /// Full pipeline recompute on the accumulated graph.
+    Recompute(RecomputeReason),
+}
+
+impl BatchPath {
+    /// `true` for [`BatchPath::FastPath`].
+    pub fn is_fast(&self) -> bool {
+        matches!(self, BatchPath::FastPath)
+    }
+
+    /// A short machine-readable label (used by `wcc stream --json`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchPath::FastPath => "fast-path",
+            BatchPath::Recompute(RecomputeReason::Bootstrap) => "recompute:bootstrap",
+            BatchPath::Recompute(RecomputeReason::StandingMerge) => "recompute:standing-merge",
+            BatchPath::Recompute(RecomputeReason::CertificateViolation) => {
+                "recompute:certificate-violation"
+            }
+            BatchPath::Recompute(RecomputeReason::FastPathDisabled) => {
+                "recompute:fast-path-disabled"
+            }
+        }
+    }
+}
+
+/// Per-batch measurements, in the same shape `wcc --json` reports run-level
+/// quantities (rounds, words, wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// 0-based index of the batch in the schedule.
+    pub batch_index: usize,
+    /// Edges contained in the batch (including duplicates and self-loops).
+    pub edges_in_batch: usize,
+    /// Vertex ids seen for the first time in this batch.
+    pub new_vertices: usize,
+    /// Unions that joined two standing components (any non-zero count
+    /// escalates).
+    pub standing_merges: usize,
+    /// The path the batch took.
+    pub path: BatchPath,
+    /// Components after the batch.
+    pub components_after: usize,
+    /// Vertices after the batch.
+    pub vertices_after: usize,
+    /// Accumulated edges after the batch.
+    pub edges_after: usize,
+    /// Simulated MPC rounds charged by this batch (fast-path charge or the
+    /// full recompute).
+    pub rounds: u64,
+    /// Words of simulated communication charged by this batch.
+    pub communication_words: u64,
+    /// Wall-clock time of the batch, in milliseconds.
+    pub wall_time_ms: f64,
+}
+
+/// Sentinel certificate: a floor no degree is below and a cap no degree is
+/// above — uncertified components carry these and trivially pass every check.
+const UNCERTIFIED: (u32, u32) = (0, u32::MAX);
+
+/// The streaming engine: see the module docs for the fast/slow path
+/// contract.
+#[derive(Debug, Clone)]
+pub struct IncrementalComponents {
+    params: StreamParams,
+    /// Master RNG; each slow-path recompute draws from it in sequence, so a
+    /// replay is deterministic for a fixed seed and batch schedule.
+    rng: ChaCha8Rng,
+    /// Raw (external) vertex id → dense id.
+    interner: HashMap<u64, u32>,
+    /// `original_ids[dense] = raw`, in order of first appearance.
+    original_ids: Vec<u64>,
+    /// Accumulated dense edge list (add-only).
+    edges: Vec<(u32, u32)>,
+    /// Current degree of every dense vertex (self-loops count once, matching
+    /// [`Graph::degree`]).
+    degrees: Vec<u32>,
+    /// The maintained labelling.
+    uf: UnionFind,
+    /// Smallest dense id in each set (valid at roots) — the "how old is this
+    /// component" tag the standing-merge test reads.
+    oldest: Vec<u32>,
+    /// Certificate degree floor per set (valid at roots).
+    cert_floor: Vec<u32>,
+    /// Certificate degree cap per set (valid at roots).
+    cert_cap: Vec<u32>,
+    /// The accounting context charged by both paths. Replaced (and absorbed
+    /// into `prior_stats`) when the grown input outsizes its cluster.
+    ctx: MpcContext,
+    /// Statistics of retired contexts.
+    prior_stats: RoundStats,
+    batches_applied: usize,
+    recomputes: usize,
+    bootstrapped: bool,
+}
+
+impl IncrementalComponents {
+    /// Creates an empty engine. The first non-empty batch bootstraps the
+    /// decomposition with a full pipeline run.
+    pub fn new(params: StreamParams, seed: u64) -> Self {
+        // A placeholder cluster for the pre-bootstrap fast-path charges; the
+        // first recompute resizes it to `recommended_config` for the real
+        // input.
+        let config = MpcConfig::with_memory(1024, 64)
+            .permissive()
+            .with_threads(params.pipeline.threads);
+        IncrementalComponents {
+            params,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            interner: HashMap::new(),
+            original_ids: Vec::new(),
+            edges: Vec::new(),
+            degrees: Vec::new(),
+            uf: UnionFind::new(0),
+            oldest: Vec::new(),
+            cert_floor: Vec::new(),
+            cert_cap: Vec::new(),
+            ctx: MpcContext::new(config),
+            prior_stats: RoundStats::default(),
+            batches_applied: 0,
+            recomputes: 0,
+            bootstrapped: false,
+        }
+    }
+
+    /// Applies one edge batch (raw `u64` vertex ids, as decoded from the
+    /// binary chunk format) and reports which path it took and what it cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if a slow-path recompute fails (bad parameters,
+    /// infeasible cluster) or the dense vertex space overflows `u32`. The
+    /// labelling itself remains correct after an error — only the
+    /// certificate refresh is missed, and the next escalation retries it.
+    pub fn apply_batch(&mut self, batch: &[(u64, u64)]) -> Result<BatchReport, CoreError> {
+        let started = Instant::now();
+        let rounds_before = self.total_rounds();
+        let words_before = self.total_communication_words();
+        let batch_index = self.batches_applied;
+        self.batches_applied += 1;
+
+        let bootstrap = !self.bootstrapped && !batch.is_empty();
+        let n0 = self.original_ids.len() as u32;
+        let min_component = self.params.certificate_min_component;
+
+        self.ctx.begin_phase("stream-ingest");
+        // Fast-path cost model (Liu–Tarjan concurrent labeling): one round
+        // routing every edge to its endpoints' label holders (two words per
+        // edge), one round of merge responses (one word per edge). The slow
+        // path charges its own phases on top.
+        self.ctx.charge_shuffle(2 * batch.len());
+        self.ctx.charge_shuffle(batch.len());
+        let _ = self.ctx.record_balanced_load(2 * batch.len());
+
+        let mut new_vertices = 0usize;
+        let mut standing_merges = 0usize;
+        let mut cert_violated = false;
+
+        for &(a, b) in batch {
+            let u = self.intern(a, &mut new_vertices)? as usize;
+            let v = self.intern(b, &mut new_vertices)? as usize;
+            self.edges.push((u as u32, v as u32));
+            self.degrees[u] += 1;
+            if u != v {
+                self.degrees[v] += 1;
+            }
+
+            let (ru, rv) = (self.uf.find(u), self.uf.find(v));
+            if ru != rv {
+                // Classify the union *before* the roots are destroyed: a
+                // merge of two standing components escalates; otherwise the
+                // merged set inherits the certificate of its pre-batch side
+                // (if any) — the other side is necessarily brand new this
+                // batch, and its vertices are floor-checked below.
+                let standing = self.oldest[ru] < n0 && self.oldest[rv] < n0;
+                if standing {
+                    standing_merges += 1;
+                }
+                let inherited = if self.oldest[ru] < n0 && self.oldest[rv] >= n0 {
+                    (self.cert_floor[ru], self.cert_cap[ru])
+                } else if self.oldest[rv] < n0 && self.oldest[ru] >= n0 {
+                    (self.cert_floor[rv], self.cert_cap[rv])
+                } else {
+                    // Both new (uncertified) or both standing (the batch
+                    // escalates and the recompute refreshes everything).
+                    UNCERTIFIED
+                };
+                let merged_oldest = self.oldest[ru].min(self.oldest[rv]);
+                self.uf.union(ru, rv);
+                let r = self.uf.find(ru);
+                self.oldest[r] = merged_oldest;
+                (self.cert_floor[r], self.cert_cap[r]) = inherited;
+            }
+
+            // Cap check: only a touched existing vertex can newly exceed the
+            // fixed cap of its (certified) component.
+            let r = self.uf.find(u);
+            if self.uf.set_size(r) >= min_component {
+                let cap = self.cert_cap[r];
+                if self.degrees[u] > cap || self.degrees[v] > cap {
+                    cert_violated = true;
+                }
+            }
+        }
+
+        // Floor check: degrees never decrease, so only vertices that arrived
+        // in this batch can sit below the fixed floor of the certified
+        // component they joined.
+        for v in n0 as usize..self.original_ids.len() {
+            let r = self.uf.find(v);
+            if self.uf.set_size(r) >= min_component && self.degrees[v] < self.cert_floor[r] {
+                cert_violated = true;
+            }
+        }
+
+        let path = if bootstrap {
+            BatchPath::Recompute(RecomputeReason::Bootstrap)
+        } else if !self.params.fast_path && !batch.is_empty() {
+            BatchPath::Recompute(RecomputeReason::FastPathDisabled)
+        } else if standing_merges > 0 {
+            BatchPath::Recompute(RecomputeReason::StandingMerge)
+        } else if cert_violated {
+            BatchPath::Recompute(RecomputeReason::CertificateViolation)
+        } else {
+            BatchPath::FastPath
+        };
+        let outcome = if let BatchPath::Recompute(_) = path {
+            self.recompute()
+        } else {
+            Ok(())
+        };
+        // Close the batch's phase before propagating any recompute failure:
+        // a stale open phase would swallow caller time into its wall-time
+        // share the next time `begin_phase` closed it.
+        self.ctx.end_phase();
+        outcome?;
+
+        Ok(BatchReport {
+            batch_index,
+            edges_in_batch: batch.len(),
+            new_vertices,
+            standing_merges,
+            path,
+            components_after: self.uf.num_sets(),
+            vertices_after: self.original_ids.len(),
+            edges_after: self.edges.len(),
+            rounds: self.total_rounds() - rounds_before,
+            communication_words: self.total_communication_words() - words_before,
+            wall_time_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Applies a whole batch schedule in order, returning one report per
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`IncrementalComponents::apply_batch`]; the first failing batch
+    /// aborts the replay.
+    pub fn apply_schedule<C: AsRef<[(u64, u64)]>>(
+        &mut self,
+        batches: &[C],
+    ) -> Result<Vec<BatchReport>, CoreError> {
+        batches
+            .iter()
+            .map(|batch| self.apply_batch(batch.as_ref()))
+            .collect()
+    }
+
+    fn intern(&mut self, raw: u64, new_vertices: &mut usize) -> Result<u32, CoreError> {
+        if let Some(&id) = self.interner.get(&raw) {
+            return Ok(id);
+        }
+        let id = self.original_ids.len();
+        if id >= u32::MAX as usize {
+            return Err(CoreError::BadParams(format!(
+                "stream: more than {} distinct vertex ids",
+                u32::MAX
+            )));
+        }
+        self.interner.insert(raw, id as u32);
+        self.original_ids.push(raw);
+        self.degrees.push(0);
+        self.oldest.push(id as u32);
+        self.cert_floor.push(UNCERTIFIED.0);
+        self.cert_cap.push(UNCERTIFIED.1);
+        let pushed = self.uf.push();
+        debug_assert_eq!(pushed, id);
+        *new_vertices += 1;
+        Ok(id as u32)
+    }
+
+    /// Slow path: run the full pipeline on the accumulated graph, adopt its
+    /// labels, refresh the certificate.
+    fn recompute(&mut self) -> Result<(), CoreError> {
+        let n = self.original_ids.len();
+        let g = self.current_graph();
+
+        // Resize the simulated cluster when the grown input outsizes it;
+        // the retired context's statistics stay in the cumulative record.
+        let want = recommended_config(&g, self.params.lambda, &self.params.pipeline);
+        let have = self.ctx.config();
+        if want.memory_per_machine > have.memory_per_machine
+            || want.num_machines > have.num_machines
+        {
+            let retired = std::mem::replace(&mut self.ctx, MpcContext::new(want));
+            self.prior_stats.absorb(retired.into_stats());
+        }
+
+        let (labels, _report) = well_connected_components_with_ctx(
+            &g,
+            self.params.lambda,
+            &self.params.pipeline,
+            &mut self.ctx,
+            &mut self.rng,
+        )?;
+        // Only a recompute that actually ran counts ("performed so far" —
+        // a failed escalation must not inflate the counter).
+        self.recomputes += 1;
+
+        // Adopt the pipeline's labelling as the authoritative decomposition.
+        let mut uf = UnionFind::new(n);
+        let mut representative = vec![usize::MAX; labels.num_components()];
+        for v in 0..n {
+            let l = labels.label(v);
+            if representative[l] == usize::MAX {
+                representative[l] = v;
+            } else {
+                uf.union(representative[l], v);
+            }
+        }
+        self.uf = uf;
+
+        // Refresh component tags and certificate thresholds.
+        let skew = self.params.certificate_degree_skew.max(1.0);
+        let slack = self.params.certificate_degree_slack;
+        let mut min_deg = vec![u32::MAX; n];
+        let mut max_deg = vec![0u32; n];
+        let mut deg_sum = vec![0u64; n];
+        // Stale root tags from before the recompute must not survive: reset
+        // every slot to its own id, then take minima over the new sets.
+        for (v, slot) in self.oldest.iter_mut().enumerate() {
+            *slot = v as u32;
+        }
+        for v in 0..n {
+            let r = self.uf.find(v);
+            self.oldest[r] = self.oldest[r].min(v as u32);
+            min_deg[r] = min_deg[r].min(self.degrees[v]);
+            max_deg[r] = max_deg[r].max(self.degrees[v]);
+            deg_sum[r] += u64::from(self.degrees[v]);
+        }
+        // Second pass so aggregates are complete before thresholds are set.
+        for v in 0..n {
+            let r = self.uf.find(v);
+            if v != r {
+                continue;
+            }
+            let size = self.uf.set_size(r);
+            if size < self.params.certificate_min_component {
+                (self.cert_floor[r], self.cert_cap[r]) = UNCERTIFIED;
+                continue;
+            }
+            let avg = deg_sum[r] as f64 / size as f64;
+            let cap = ((skew * avg).ceil() as u32).saturating_add(slack);
+            let floor = (avg / skew).floor() as u32;
+            self.cert_floor[r] = floor.min(min_deg[r]);
+            self.cert_cap[r] = cap.max(max_deg[r]);
+        }
+        self.bootstrapped = true;
+        Ok(())
+    }
+
+    /// The current labelling, canonicalised in dense-id (arrival) order.
+    /// Bit-identical for a fixed seed and schedule regardless of the thread
+    /// count.
+    pub fn labels(&self) -> ComponentLabels {
+        self.uf.clone().into_labels()
+    }
+
+    /// `original_ids()[dense] = raw`: the raw id each dense vertex id (the
+    /// index space of [`IncrementalComponents::labels`]) arrived as.
+    pub fn original_ids(&self) -> &[u64] {
+        &self.original_ids
+    }
+
+    /// Projects the labelling onto the vertex universe `0..n`, reading each
+    /// raw id as a vertex index: `result.label(v)` is the component of the
+    /// vertex that arrived as raw id `v`, and ids the stream never saw get
+    /// fresh singleton labels after the real ones — exactly the labelling a
+    /// from-scratch run on the final graph (isolated vertices included)
+    /// would produce, up to label renaming. This is how the differential
+    /// suite compares a replay against the one-shot pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seen raw id is `>= n` (the stream does not fit the
+    /// claimed universe).
+    pub fn labels_for_universe(&self, n: usize) -> ComponentLabels {
+        let labels = self.labels();
+        let mut raw = vec![usize::MAX; n];
+        for (dense, &orig) in self.original_ids.iter().enumerate() {
+            assert!(
+                (orig as usize) < n,
+                "raw id {orig} outside the universe 0..{n}"
+            );
+            raw[orig as usize] = labels.label(dense);
+        }
+        let mut next = labels.num_components();
+        for slot in raw.iter_mut() {
+            if *slot == usize::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        ComponentLabels::from_raw_labels(&raw)
+    }
+
+    /// Number of components currently maintained.
+    pub fn num_components(&self) -> usize {
+        self.uf.num_sets()
+    }
+
+    /// Number of distinct vertices seen so far.
+    pub fn num_vertices(&self) -> usize {
+        self.original_ids.len()
+    }
+
+    /// Number of edges accumulated so far (duplicates and self-loops count).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of batches applied so far.
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// Number of slow-path recomputes performed so far.
+    pub fn recomputes(&self) -> usize {
+        self.recomputes
+    }
+
+    /// Materialises the accumulated graph on the dense vertex set.
+    pub fn current_graph(&self) -> Graph {
+        Graph::from_edges_unchecked(
+            self.original_ids.len(),
+            self.edges.iter().map(|&(u, v)| (u as usize, v as usize)),
+        )
+    }
+
+    /// Cumulative simulated-resource statistics across every batch and
+    /// recompute so far (model quantities only are compared by `Eq` — see
+    /// [`wcc_mpc::PhaseStats`]).
+    pub fn stats(&self) -> RoundStats {
+        let mut total = self.prior_stats.clone();
+        total.absorb(self.ctx.stats().clone());
+        total
+    }
+
+    fn total_rounds(&self) -> u64 {
+        self.prior_stats.total_rounds() + self.ctx.stats().total_rounds()
+    }
+
+    fn total_communication_words(&self) -> u64 {
+        self.prior_stats.total_communication_words() + self.ctx.stats().total_communication_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use wcc_graph::prelude::*;
+
+    fn params() -> StreamParams {
+        StreamParams::test_scale()
+    }
+
+    /// One batch per `sizes` entry, raw ids shifted so batches are disjoint
+    /// expander components.
+    fn expander_batches(sizes: &[usize], degree: usize, seed: u64) -> Vec<Vec<(u64, u64)>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut batches = Vec::new();
+        let mut shift = 0u64;
+        for &s in sizes {
+            let g = generators::random_regular_permutation_graph(s, degree, &mut rng);
+            batches.push(
+                g.edge_iter()
+                    .map(|(u, v)| (u as u64 + shift, v as u64 + shift))
+                    .collect(),
+            );
+            shift += s as u64;
+        }
+        batches
+    }
+
+    #[test]
+    fn bootstrap_recomputes_then_intra_edges_ride_the_fast_path() {
+        let mut engine = IncrementalComponents::new(params(), 11);
+        let batches = expander_batches(&[60], 8, 5);
+        let r0 = engine.apply_batch(&batches[0]).unwrap();
+        assert_eq!(r0.path, BatchPath::Recompute(RecomputeReason::Bootstrap));
+        assert_eq!(engine.recomputes(), 1);
+        assert_eq!(engine.num_components(), 1);
+
+        // Duplicates of existing intra-component edges: pure fast path.
+        let intra: Vec<(u64, u64)> = batches[0][..20].to_vec();
+        let r1 = engine.apply_batch(&intra).unwrap();
+        assert_eq!(r1.path, BatchPath::FastPath);
+        assert_eq!(r1.standing_merges, 0);
+        assert_eq!(r1.new_vertices, 0);
+        assert_eq!(engine.recomputes(), 1);
+        // The fast path charges O(1) rounds.
+        assert_eq!(r1.rounds, 2);
+        assert_eq!(engine.num_components(), 1);
+    }
+
+    #[test]
+    fn merging_standing_components_escalates() {
+        let mut engine = IncrementalComponents::new(params(), 3);
+        let batches = expander_batches(&[50, 40], 8, 9);
+        engine.apply_batch(&batches[0]).unwrap();
+        let r1 = engine.apply_batch(&batches[1]).unwrap();
+        // The second expander is brand new in its batch: no standing merge.
+        assert_eq!(r1.standing_merges, 0);
+        assert_eq!(r1.path, BatchPath::FastPath);
+        assert_eq!(engine.num_components(), 2);
+
+        // A bridge between the two standing components escalates.
+        let bridge = vec![(0u64, 50u64)];
+        let r2 = engine.apply_batch(&bridge).unwrap();
+        assert_eq!(
+            r2.path,
+            BatchPath::Recompute(RecomputeReason::StandingMerge)
+        );
+        assert_eq!(r2.standing_merges, 1);
+        assert_eq!(engine.num_components(), 1);
+
+        let truth = connected_components(&engine.current_graph());
+        assert!(engine.labels().same_partition(&truth));
+    }
+
+    #[test]
+    fn pendant_tendril_violates_the_degree_floor() {
+        let mut engine = IncrementalComponents::new(params(), 7);
+        let batches = expander_batches(&[60], 8, 13);
+        engine.apply_batch(&batches[0]).unwrap();
+
+        // A well-attached newcomer (enough edges to clear the floor of
+        // avg/skew = 8/4 = 2) rides the fast path...
+        let attach = vec![(1000u64, 0u64), (1000, 1), (1000, 2)];
+        let r1 = engine.apply_batch(&attach).unwrap();
+        assert_eq!(r1.path, BatchPath::FastPath);
+        assert_eq!(r1.new_vertices, 1);
+
+        // ...but a degree-1 pendant vertex degrades almost-regularity and
+        // escalates.
+        let pendant = vec![(2000u64, 0u64)];
+        let r2 = engine.apply_batch(&pendant).unwrap();
+        assert_eq!(
+            r2.path,
+            BatchPath::Recompute(RecomputeReason::CertificateViolation)
+        );
+        assert_eq!(engine.num_components(), 1);
+    }
+
+    #[test]
+    fn hub_pileup_violates_the_degree_cap() {
+        let mut engine = IncrementalComponents::new(params(), 19);
+        let batches = expander_batches(&[60], 8, 17);
+        engine.apply_batch(&batches[0]).unwrap();
+
+        // Pile parallel intra-component edges onto vertex 0 until its degree
+        // blows past cap = skew·avg + slack = 4·8 + 8 = 40.
+        let pile: Vec<(u64, u64)> = (0..40).map(|i| (0u64, 1 + (i % 3) as u64)).collect();
+        let r = engine.apply_batch(&pile).unwrap();
+        assert_eq!(
+            r.path,
+            BatchPath::Recompute(RecomputeReason::CertificateViolation)
+        );
+        // The recompute refreshes the thresholds from the new degree
+        // distribution, so ordinary traffic is fast again (hysteresis, not a
+        // recompute storm). The hub itself sits exactly at the refreshed cap,
+        // so the follow-up avoids it.
+        let small: Vec<(u64, u64)> = vec![(5, 6)];
+        let r2 = engine.apply_batch(&small).unwrap();
+        assert_eq!(r2.path, BatchPath::FastPath);
+    }
+
+    #[test]
+    fn disabled_fast_path_recomputes_every_batch() {
+        let mut engine = IncrementalComponents::new(params().with_fast_path(false), 23);
+        let batches = expander_batches(&[40], 8, 21);
+        engine.apply_batch(&batches[0]).unwrap();
+        let intra: Vec<(u64, u64)> = batches[0][..10].to_vec();
+        let r = engine.apply_batch(&intra).unwrap();
+        assert_eq!(
+            r.path,
+            BatchPath::Recompute(RecomputeReason::FastPathDisabled)
+        );
+        assert_eq!(engine.recomputes(), 2);
+    }
+
+    #[test]
+    fn empty_batches_are_free_no_ops() {
+        let mut engine = IncrementalComponents::new(params(), 29);
+        let r = engine.apply_batch(&[]).unwrap();
+        assert_eq!(r.path, BatchPath::FastPath);
+        assert_eq!(r.rounds, 2); // the constant fast-path charge
+        assert_eq!(r.communication_words, 0);
+        assert_eq!(engine.num_vertices(), 0);
+        assert_eq!(engine.num_components(), 0);
+        assert!(engine.labels().is_empty());
+        assert_eq!(engine.recomputes(), 0, "an empty batch must not bootstrap");
+    }
+
+    #[test]
+    fn random_schedule_replay_matches_ground_truth() {
+        let mut graph_rng = ChaCha8Rng::seed_from_u64(31);
+        let g = generators::planted_expander_components(&[40, 30, 20], 8, &mut graph_rng);
+        let mut edges: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        edges.shuffle(&mut graph_rng);
+
+        let mut engine = IncrementalComponents::new(params(), 37);
+        for chunk in edges.chunks(37) {
+            engine.apply_batch(chunk).unwrap();
+        }
+        assert_eq!(engine.num_edges(), g.num_edges());
+
+        // Map dense labels back to the generator's vertex numbering.
+        let got = engine.labels_for_universe(g.num_vertices());
+        assert!(got.same_partition(&connected_components(&g)));
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches_and_context_upgrades() {
+        let mut engine = IncrementalComponents::new(params(), 41);
+        let batches = expander_batches(&[30, 40], 8, 19);
+        engine.apply_batch(&batches[0]).unwrap();
+        let after_first = engine.stats();
+        assert!(after_first.total_rounds() > 2, "bootstrap ran the pipeline");
+
+        engine.apply_batch(&batches[1]).unwrap();
+        let bridge = vec![(0u64, 30u64)];
+        engine.apply_batch(&bridge).unwrap();
+        let after_all = engine.stats();
+        assert!(after_all.total_rounds() > after_first.total_rounds());
+        assert!(
+            after_all
+                .phases()
+                .iter()
+                .filter(|p| p.name == "stream-ingest")
+                .count()
+                >= 3
+        );
+        // Both recomputes left pipeline phases in the record.
+        assert!(after_all.rounds_in_phase("regularize") > 0);
+    }
+}

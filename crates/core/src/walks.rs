@@ -369,8 +369,10 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
             let max_bundles = 4 * k + 8;
             let mut fallback: Vec<Vec<usize>> = vec![Vec::new(); n];
             // Vertices still short of `k` endpoints; an O(1) counter replaces
-            // the O(n) `out.iter().all(..)` rescan per bundle.
-            let mut pending = n;
+            // the O(n) `out.iter().all(..)` rescan per bundle. With `k == 0`
+            // every vertex is satisfied from the start (`len() < 0` is
+            // impossible), so nothing is pending and no bundle is drawn.
+            let mut pending = if k == 0 { 0 } else { n };
             for _ in 0..max_bundles {
                 if pending == 0 {
                     break;
@@ -459,6 +461,22 @@ mod tests {
         for v in (0..g.num_vertices()).step_by(5) {
             let end = direct_walk_endpoint(&g, v, 40, &mut rng);
             assert!(cc.same_component(v, end));
+        }
+    }
+
+    #[test]
+    fn zero_walks_per_vertex_returns_an_empty_arena_without_simulating() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_regular_permutation_graph(40, 6, &mut rng);
+        for mode in [WalkMode::Direct, WalkMode::Faithful] {
+            let mut ctx = ctx_for(4 * g.num_edges());
+            let mut walk_rng = ChaCha8Rng::seed_from_u64(9);
+            let flat = independent_lazy_walks(&g, 8, 0, mode, 2, &mut ctx, &mut walk_rng)
+                .expect("k = 0 is a valid (trivial) request");
+            assert!(
+                flat.is_empty(),
+                "mode {mode:?} produced endpoints for k = 0"
+            );
         }
     }
 

@@ -48,6 +48,18 @@ impl UnionFind {
         self.parent.is_empty()
     }
 
+    /// Appends a new element as its own singleton set, returning its index.
+    ///
+    /// This is what lets long-lived structures (the streaming ingestion
+    /// engine) admit vertices that arrive after construction.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.size.push(1);
+        self.num_sets += 1;
+        id
+    }
+
     /// Representative of the set containing `x`.
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
@@ -416,6 +428,20 @@ mod tests {
         assert_eq!(uf.set_size(2), 3);
         assert!(uf.same_set(0, 2));
         assert!(!uf.same_set(0, 4));
+    }
+
+    #[test]
+    fn push_grows_the_universe_with_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let v = uf.push();
+        assert_eq!(v, 2);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.num_sets(), 2);
+        assert!(!uf.same_set(0, 2));
+        uf.union(1, 2);
+        assert_eq!(uf.num_sets(), 1);
+        assert_eq!(uf.set_size(2), 3);
     }
 
     #[test]

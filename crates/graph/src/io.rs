@@ -1,19 +1,48 @@
-//! Plain-text edge-list serialization.
+//! Edge-list serialization: plain text and length-prefixed binary chunks.
 //!
-//! A tiny, dependency-free interchange format so real graphs (SNAP-style
-//! edge lists, exports from other tools) can be fed to the algorithms and so
-//! experiment inputs can be checked into a repository:
+//! Two dependency-free interchange formats:
+//!
+//! **Plain text** — so real graphs (SNAP-style edge lists, exports from
+//! other tools) can be fed to the algorithms and experiment inputs can be
+//! checked into a repository:
 //!
 //! * one edge per line: two whitespace-separated vertex ids;
 //! * lines starting with `#` or `%` are comments;
 //! * vertex ids need not be contiguous — they are remapped to `0..n` on load
 //!   (the mapping is returned).
+//!
+//! **Binary chunks** — the streaming ingestion format: a batch schedule is a
+//! sequence of edge chunks, each decodable independently (so a simulated
+//! cluster can fan the decode out chunk-by-chunk — see
+//! `wcc_mpc::stream::decode_edge_chunks`). Everything is little-endian:
+//!
+//! ```text
+//! file   := magic "WCCS" | version u32 | chunk*
+//! chunk  := payload_len u64 | payload          (payload_len in bytes)
+//! payload:= (src u64 | dst u64)*               (payload_len / 16 edges)
+//! ```
+//!
+//! Vertex ids are raw `u64`s (not remapped); a clean EOF is only legal at a
+//! chunk boundary. Malformed input — wrong magic, a payload length that is
+//! not a multiple of 16, a stream that ends mid-header or mid-payload —
+//! returns an [`IoError`] instead of panicking, and a corrupt header cannot
+//! trigger an over-allocation (payloads are read through a bounded reader,
+//! never pre-allocated at the advertised length).
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 
 use crate::graph::{Graph, GraphBuilder};
 
-/// Errors returned by the edge-list reader.
+/// Magic bytes opening a binary chunk stream.
+pub const CHUNK_MAGIC: [u8; 4] = *b"WCCS";
+
+/// Version written by (and the only one accepted by) this reader/writer.
+pub const CHUNK_FORMAT_VERSION: u32 = 1;
+
+/// Bytes of one encoded edge: two little-endian `u64` endpoints.
+pub const CHUNK_BYTES_PER_EDGE: usize = 16;
+
+/// Errors returned by the edge-list readers (text and binary).
 #[derive(Debug)]
 pub enum IoError {
     /// An underlying I/O failure.
@@ -25,6 +54,32 @@ pub enum IoError {
         /// The offending content.
         content: String,
     },
+    /// A binary chunk stream that does not start with [`CHUNK_MAGIC`].
+    BadMagic,
+    /// A binary chunk stream with a version this reader does not understand.
+    UnsupportedVersion {
+        /// The version found in the stream.
+        version: u32,
+    },
+    /// A binary chunk stream that ended in the middle of the file header, a
+    /// chunk header or a chunk payload. Chunk `0` with `expected_bytes == 8`
+    /// and no chunks read yet means the *file* header itself was short.
+    Truncated {
+        /// 0-based index of the chunk being read.
+        chunk: usize,
+        /// Bytes the current header/payload required.
+        expected_bytes: usize,
+        /// Bytes actually available.
+        got_bytes: usize,
+    },
+    /// A binary chunk whose header or payload is structurally invalid (e.g.
+    /// a payload length that is not a multiple of [`CHUNK_BYTES_PER_EDGE`]).
+    Corrupt {
+        /// 0-based index of the offending chunk.
+        chunk: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -33,6 +88,26 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, content } => {
                 write!(f, "could not parse edge on line {line}: {content:?}")
+            }
+            IoError::BadMagic => write!(f, "not a WCCS binary chunk stream (bad magic)"),
+            IoError::UnsupportedVersion { version } => {
+                write!(
+                    f,
+                    "unsupported chunk format version {version} (this reader understands \
+                     {CHUNK_FORMAT_VERSION})"
+                )
+            }
+            IoError::Truncated {
+                chunk,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "chunk stream truncated in chunk {chunk}: needed {expected_bytes} bytes, \
+                 got {got_bytes}"
+            ),
+            IoError::Corrupt { chunk, reason } => {
+                write!(f, "corrupt chunk {chunk}: {reason}")
             }
         }
     }
@@ -145,6 +220,185 @@ pub fn read_edge_list_file(path: &std::path::Path) -> Result<LoadedGraph, IoErro
     read_edge_list_sized(std::io::BufReader::new(file), size)
 }
 
+/// Reads into `buf` until it is full or the reader hits EOF; returns the
+/// number of bytes actually read. (Unlike [`Read::read_exact`], a short read
+/// reports *how much* arrived, which the chunk reader turns into a precise
+/// [`IoError::Truncated`].)
+fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            // Same convention as `Read::read_exact`: a spurious EINTR is not
+            // the end of the stream.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Writes a sequence of edge batches as a binary chunk stream (see the
+/// module docs for the exact layout). One chunk per batch; vertex ids are
+/// written raw, without remapping.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_chunks<W: Write, C: AsRef<[(u64, u64)]>>(
+    chunks: &[C],
+    writer: W,
+) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    out.write_all(&CHUNK_MAGIC)?;
+    out.write_all(&CHUNK_FORMAT_VERSION.to_le_bytes())?;
+    for chunk in chunks {
+        let edges = chunk.as_ref();
+        let payload_len = (edges.len() as u64) * CHUNK_BYTES_PER_EDGE as u64;
+        out.write_all(&payload_len.to_le_bytes())?;
+        for &(u, v) in edges {
+            out.write_all(&u.to_le_bytes())?;
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+/// Writes a binary chunk stream to a file path.
+///
+/// # Errors
+///
+/// See [`write_edge_chunks`].
+pub fn write_edge_chunks_file<C: AsRef<[(u64, u64)]>>(
+    chunks: &[C],
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    write_edge_chunks(chunks, std::fs::File::create(path)?)
+}
+
+/// Reads the *framing* of a binary chunk stream: validates the file header
+/// and splits the stream into per-chunk payload byte buffers without decoding
+/// any edges. This is the sequential part of ingestion; the payloads are
+/// independently decodable with [`decode_edge_chunk`], which is what the
+/// executor-driven fan-out in `wcc_mpc::stream` parallelises over.
+///
+/// # Errors
+///
+/// [`IoError::BadMagic`] / [`IoError::UnsupportedVersion`] for a bad file
+/// header, [`IoError::Truncated`] when the stream ends mid-header or
+/// mid-payload, [`IoError::Corrupt`] for a payload length that is not a whole
+/// number of edges, and [`IoError::Io`] for underlying read failures.
+pub fn read_chunk_frames<R: Read>(mut reader: R) -> Result<Vec<Vec<u8>>, IoError> {
+    let mut header = [0u8; 8];
+    let got = read_up_to(&mut reader, &mut header)?;
+    if got < header.len() {
+        return Err(IoError::Truncated {
+            chunk: 0,
+            expected_bytes: header.len(),
+            got_bytes: got,
+        });
+    }
+    if header[..4] != CHUNK_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != CHUNK_FORMAT_VERSION {
+        return Err(IoError::UnsupportedVersion { version });
+    }
+
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    loop {
+        let mut len_buf = [0u8; 8];
+        let got = read_up_to(&mut reader, &mut len_buf)?;
+        if got == 0 {
+            break; // clean EOF at a chunk boundary
+        }
+        if got < len_buf.len() {
+            return Err(IoError::Truncated {
+                chunk: frames.len(),
+                expected_bytes: len_buf.len(),
+                got_bytes: got,
+            });
+        }
+        let payload_len = u64::from_le_bytes(len_buf);
+        if !payload_len.is_multiple_of(CHUNK_BYTES_PER_EDGE as u64) {
+            return Err(IoError::Corrupt {
+                chunk: frames.len(),
+                reason: format!(
+                    "payload length {payload_len} is not a multiple of {CHUNK_BYTES_PER_EDGE}"
+                ),
+            });
+        }
+        // Read through a bounded reader instead of pre-allocating
+        // `payload_len` bytes: a corrupt header advertising an absurd length
+        // then fails with `Truncated` rather than an allocation blow-up.
+        let mut payload = Vec::with_capacity((payload_len as usize).min(1 << 20));
+        let read = (&mut reader).take(payload_len).read_to_end(&mut payload)?;
+        if (read as u64) < payload_len {
+            return Err(IoError::Truncated {
+                chunk: frames.len(),
+                expected_bytes: payload_len as usize,
+                got_bytes: read,
+            });
+        }
+        frames.push(payload);
+    }
+    Ok(frames)
+}
+
+/// Decodes one chunk payload (as framed by [`read_chunk_frames`]) into its
+/// edge list. Pure function of the bytes — safe to fan out over chunks in
+/// parallel. `chunk` is the chunk's index, used only for error reporting.
+///
+/// # Errors
+///
+/// Returns [`IoError::Corrupt`] if the payload is not a whole number of
+/// 16-byte edges.
+pub fn decode_edge_chunk(chunk: usize, payload: &[u8]) -> Result<Vec<(u64, u64)>, IoError> {
+    if !payload.len().is_multiple_of(CHUNK_BYTES_PER_EDGE) {
+        return Err(IoError::Corrupt {
+            chunk,
+            reason: format!(
+                "payload of {} bytes is not a multiple of {CHUNK_BYTES_PER_EDGE}",
+                payload.len()
+            ),
+        });
+    }
+    let mut edges = Vec::with_capacity(payload.len() / CHUNK_BYTES_PER_EDGE);
+    for pair in payload.chunks_exact(CHUNK_BYTES_PER_EDGE) {
+        let u = u64::from_le_bytes(pair[0..8].try_into().expect("8 bytes"));
+        let v = u64::from_le_bytes(pair[8..16].try_into().expect("8 bytes"));
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Reads a whole binary chunk stream sequentially: [`read_chunk_frames`]
+/// followed by [`decode_edge_chunk`] on every frame, in order. (The parallel
+/// variant lives in `wcc_mpc::stream`, which fans the decode out through an
+/// `Executor`.)
+///
+/// # Errors
+///
+/// See [`read_chunk_frames`] and [`decode_edge_chunk`].
+pub fn read_edge_chunks<R: Read>(reader: R) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
+    read_chunk_frames(reader)?
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| decode_edge_chunk(i, frame))
+        .collect()
+}
+
+/// Reads a binary chunk stream from a file path.
+///
+/// # Errors
+///
+/// See [`read_edge_chunks`].
+pub fn read_edge_chunks_file(path: &std::path::Path) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
+    read_edge_chunks(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
 /// Writes a graph as an edge list (one `u v` pair per line, with a comment
 /// header).
 ///
@@ -226,5 +480,188 @@ mod tests {
         let loaded = read_edge_list(std::io::Cursor::new(buf)).unwrap();
         assert_eq!(loaded.graph.num_edges(), 3);
         assert!(loaded.graph.has_self_loops());
+    }
+
+    // --- read_edge_list error paths -------------------------------------
+
+    #[test]
+    fn empty_input_yields_the_empty_graph() {
+        let loaded = read_edge_list(std::io::Cursor::new("")).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 0);
+        assert_eq!(loaded.graph.num_edges(), 0);
+        assert!(loaded.original_ids.is_empty());
+        // Comment-only input is just as empty.
+        let loaded = read_edge_list(std::io::Cursor::new("# nothing\n% here\n\n")).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn single_token_lines_are_parse_errors() {
+        let err = read_edge_list(std::io::Cursor::new("1 2\n3\n")).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "3");
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_vertex_ids_are_parse_errors_not_panics() {
+        // u64::MAX is 18446744073709551615; one more must fail cleanly.
+        let text = "18446744073709551616 1\n";
+        let err = read_edge_list(std::io::Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "got {err}");
+        // u64::MAX itself is accepted and remapped.
+        let ok = read_edge_list(std::io::Cursor::new("18446744073709551615 0\n")).unwrap();
+        assert_eq!(ok.original_ids, vec![u64::MAX, 0]);
+    }
+
+    #[test]
+    fn negative_and_non_numeric_ids_are_parse_errors() {
+        for bad in ["-1 2\n", "1 -2\n", "a b\n", "1.5 2\n", "0x10 3\n"] {
+            let err = read_edge_list(std::io::Cursor::new(bad)).unwrap_err();
+            assert!(
+                matches!(err, IoError::Parse { line: 1, .. }),
+                "input {bad:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn underlying_read_failures_surface_as_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let err = read_edge_list(std::io::BufReader::new(FailingReader)).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "got {err}");
+    }
+
+    // --- binary chunk format --------------------------------------------
+
+    #[test]
+    fn chunk_round_trip_preserves_batches_exactly() {
+        let chunks: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![],
+            vec![(u64::MAX, 0), (7, 7)],
+        ];
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 3 * 8 + 5 * CHUNK_BYTES_PER_EDGE);
+        let back = read_edge_chunks(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, chunks);
+    }
+
+    #[test]
+    fn empty_chunk_stream_round_trips() {
+        let chunks: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8); // header only
+        assert!(read_edge_chunks(std::io::Cursor::new(buf))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let err =
+            read_edge_chunks(std::io::Cursor::new(b"NOPE\x01\x00\x00\x00".to_vec())).unwrap_err();
+        assert!(matches!(err, IoError::BadMagic), "got {err}");
+
+        let mut versioned = CHUNK_MAGIC.to_vec();
+        versioned.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_edge_chunks(std::io::Cursor::new(versioned)).unwrap_err();
+        assert!(
+            matches!(err, IoError::UnsupportedVersion { version: 99 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let chunks: Vec<Vec<(u64, u64)>> = vec![vec![(1, 2), (3, 4)], vec![(5, 6)]];
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        // Every proper prefix that is not a chunk boundary must error; the
+        // boundaries themselves (header end, after chunk 0, after chunk 1)
+        // are clean EOFs.
+        let boundaries = [8, 8 + 8 + 32, buf.len()];
+        for cut in 0..buf.len() {
+            let result = read_edge_chunks(std::io::Cursor::new(buf[..cut].to_vec()));
+            if boundaries.contains(&cut) {
+                assert!(result.is_ok(), "cut at {cut} should be a clean boundary");
+            } else {
+                assert!(
+                    matches!(result, Err(IoError::Truncated { .. })),
+                    "cut at {cut} should be Truncated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_edge_aligned_payload_length_is_corrupt() {
+        let mut buf = CHUNK_MAGIC.to_vec();
+        buf.extend_from_slice(&CHUNK_FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&15u64.to_le_bytes()); // not a multiple of 16
+        buf.extend_from_slice(&[0u8; 15]);
+        let err = read_edge_chunks(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, IoError::Corrupt { chunk: 0, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn absurd_advertised_length_fails_without_allocating_it() {
+        let mut buf = CHUNK_MAGIC.to_vec();
+        buf.extend_from_slice(&CHUNK_FORMAT_VERSION.to_le_bytes());
+        // Advertise ~2^60 bytes (a multiple of 16), supply none.
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_edge_chunks(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::Truncated {
+                    chunk: 0,
+                    got_bytes: 0,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn decode_edge_chunk_matches_the_framed_reader() {
+        let chunks = vec![vec![(10u64, 20u64), (30, 40)]];
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        let frames = read_chunk_frames(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(decode_edge_chunk(0, &frames[0]).unwrap(), chunks[0]);
+        // A mis-sized payload handed straight to the decoder also errors.
+        assert!(matches!(
+            decode_edge_chunk(3, &frames[0][..15]),
+            Err(IoError::Corrupt { chunk: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_for_chunks() {
+        let dir = std::env::temp_dir().join(format!("wcc_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batches.wccs");
+        let chunks: Vec<Vec<(u64, u64)>> = vec![vec![(1, 2)], vec![(3, 4), (5, 6)]];
+        write_edge_chunks_file(&chunks, &path).unwrap();
+        let back = read_edge_chunks_file(&path).unwrap();
+        assert_eq!(back, chunks);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

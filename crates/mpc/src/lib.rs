@@ -57,6 +57,7 @@ pub mod executor;
 pub mod primitives;
 mod radix;
 pub mod stats;
+pub mod stream;
 
 pub use crate::cluster::{Cluster, KeyedTuple};
 pub use crate::config::{MpcConfig, MpcError};

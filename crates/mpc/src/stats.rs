@@ -105,6 +105,23 @@ impl RoundStats {
         self.phases.iter().map(|p| p.wall_time_ms).sum()
     }
 
+    /// Folds another run's statistics into this one: rounds, words and
+    /// violations add, machine loads max, and `other`'s phases are appended
+    /// in order after the existing ones. This is how long-lived callers (the
+    /// streaming ingestion engine, experiment harnesses aggregating several
+    /// runs) keep one cumulative record across contexts — e.g. when a
+    /// growing input forces a fresh, larger [`MpcContext`], the old
+    /// context's `into_stats()` is absorbed into the running total.
+    pub fn absorb(&mut self, other: RoundStats) {
+        self.total_rounds += other.total_rounds;
+        self.total_communication_words += other.total_communication_words;
+        self.max_machine_load_words = self
+            .max_machine_load_words
+            .max(other.max_machine_load_words);
+        self.memory_violations += other.memory_violations;
+        self.phases.extend(other.phases);
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -504,6 +521,31 @@ mod tests {
             stats_b.phases()[0].wall_time_ms
         );
         assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn absorb_concatenates_runs() {
+        let mut a = ctx(64);
+        a.begin_phase("first");
+        a.charge(2, 100);
+        a.record_machine_load(0, 30).unwrap();
+        let mut total = a.into_stats();
+
+        let mut b = ctx(64);
+        b.begin_phase("second");
+        b.charge(3, 50);
+        b.record_machine_load(1, 45).unwrap();
+        total.absorb(b.into_stats());
+
+        assert_eq!(total.total_rounds(), 5);
+        assert_eq!(total.total_communication_words(), 150);
+        assert_eq!(total.max_machine_load_words(), 45);
+        let names: Vec<&str> = total.phases().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        // Absorbing an empty record is a no-op.
+        let before = total.clone();
+        total.absorb(RoundStats::default());
+        assert_eq!(total, before);
     }
 
     #[test]

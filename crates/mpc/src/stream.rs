@@ -1,0 +1,122 @@
+//! Executor-driven ingestion of binary edge-chunk streams.
+//!
+//! The binary chunk format (`wcc_graph::io`, magic `WCCS`) frames a batch
+//! schedule as independently decodable payloads precisely so that a cluster
+//! can decode them in parallel: the sequential part of ingestion is only the
+//! framing scan ([`wcc_graph::io::read_chunk_frames`]), after which each
+//! payload is a pure function of its bytes. This module fans that decode out
+//! through an [`Executor`] — one work unit per chunk, results reassembled in
+//! chunk order, the first malformed chunk (in *chunk index* order, never in
+//! completion order) reported as the error. Both properties follow from
+//! [`Executor::map_items`]'s index-ordered fan-in, so the decode obeys the
+//! workspace determinism contract: bit-identical output and error selection
+//! for every thread count.
+
+use crate::executor::Executor;
+
+use wcc_graph::io::{decode_edge_chunk, read_chunk_frames, IoError};
+
+/// Decodes framed chunk payloads into edge batches in parallel, one work
+/// unit per chunk, via `exec`. Output order matches frame order; on failure
+/// the error for the lowest-indexed malformed chunk is returned regardless
+/// of the thread count.
+///
+/// # Errors
+///
+/// Returns the first (by chunk index) [`IoError`] produced by
+/// [`decode_edge_chunk`].
+pub fn decode_edge_chunks(
+    frames: &[Vec<u8>],
+    exec: &Executor,
+) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
+    exec.map_items(frames, |i, frame| decode_edge_chunk(i, frame))
+        .into_iter()
+        .collect()
+}
+
+/// Reads a whole binary chunk stream with parallel per-chunk decode:
+/// sequential framing, then [`decode_edge_chunks`] through `exec`.
+///
+/// # Errors
+///
+/// See [`wcc_graph::io::read_chunk_frames`] and [`decode_edge_chunks`].
+pub fn read_edge_chunks_parallel<R: std::io::Read>(
+    reader: R,
+    exec: &Executor,
+) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
+    let frames = read_chunk_frames(reader)?;
+    decode_edge_chunks(&frames, exec)
+}
+
+/// File-path convenience wrapper around [`read_edge_chunks_parallel`].
+///
+/// # Errors
+///
+/// See [`read_edge_chunks_parallel`].
+pub fn read_edge_chunks_file_parallel(
+    path: &std::path::Path,
+    exec: &Executor,
+) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
+    read_edge_chunks_parallel(
+        std::io::BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?),
+        exec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcc_graph::io::write_edge_chunks;
+
+    fn sample_chunks() -> Vec<Vec<(u64, u64)>> {
+        (0..20u64)
+            .map(|c| (0..(c % 5) * 30).map(|i| (c * 1000 + i, i)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential_for_every_thread_count() {
+        let chunks = sample_chunks();
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        let sequential = wcc_graph::io::read_edge_chunks(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(sequential, chunks);
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::threaded(threads);
+            let parallel = read_edge_chunks_parallel(std::io::Cursor::new(&buf), &exec).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn decode_error_selection_is_deterministic_across_thread_counts() {
+        // Frames 3 and 7 are malformed; the error must always name chunk 3.
+        let mut frames: Vec<Vec<u8>> = (0..10u64)
+            .map(|c| {
+                (0..4u64)
+                    .flat_map(|i| {
+                        let mut b = c.to_le_bytes().to_vec();
+                        b.extend_from_slice(&i.to_le_bytes());
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        frames[3].pop();
+        frames[7].pop();
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::threaded(threads);
+            let err = decode_edge_chunks(&frames, &exec).unwrap_err();
+            assert!(
+                matches!(err, IoError::Corrupt { chunk: 3, .. }),
+                "threads={threads}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_frame_list_decodes_to_nothing() {
+        let exec = Executor::threaded(4);
+        assert!(decode_edge_chunks(&[], &exec).unwrap().is_empty());
+    }
+}

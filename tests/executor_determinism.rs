@@ -163,6 +163,68 @@ fn lazy_walk_engine_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Streaming ingestion must be bit-identical across thread counts: replaying
+/// the same batch schedule through `IncrementalComponents` at 1/2/8 worker
+/// threads yields the same labels, the same cumulative `RoundStats` (model
+/// quantities — wall times are excluded from equality by design), and the
+/// same per-batch path/round/word decisions. The engine interleaves
+/// union-find fast paths with full pipeline recomputes, so this transitively
+/// pins the whole fast/slow escalation machinery onto the executor
+/// determinism contract.
+#[test]
+fn streaming_ingestion_is_bit_identical_across_thread_counts() {
+    use rand::seq::SliceRandom;
+    use wcc_core::stream::{IncrementalComponents, StreamParams};
+
+    for (fi, (family, lambda)) in families().into_iter().enumerate() {
+        let g = instance(&family, 200 + fi as u64);
+        for seed in SEEDS {
+            // A shuffled batch schedule over the family instance, plus a
+            // trailing newcomer batch so the fast path sees fresh vertices.
+            let mut edges: Vec<(u64, u64)> =
+                g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+            edges.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0x57AE)); // "STRE"
+            let mut schedule: Vec<Vec<(u64, u64)>> =
+                edges.chunks(101).map(<[(u64, u64)]>::to_vec).collect();
+            let n = g.num_vertices() as u64;
+            schedule.push(vec![(n, 0), (n, 1), (n, 2)]);
+
+            let replay = |threads: usize| {
+                let params = StreamParams::test_scale()
+                    .with_lambda(lambda)
+                    .with_threads(threads);
+                let mut engine = IncrementalComponents::new(params, seed);
+                let reports = engine.apply_schedule(&schedule).expect("replay succeeds");
+                // Project the per-batch reports onto their model quantities
+                // (wall time is a timing observable, not part of the
+                // contract).
+                let decisions: Vec<_> = reports
+                    .iter()
+                    .map(|r| (r.path, r.rounds, r.communication_words, r.components_after))
+                    .collect();
+                (engine.labels(), engine.stats(), decisions)
+            };
+
+            let (labels_1, stats_1, decisions_1) = replay(1);
+            for threads in THREADED {
+                let (labels_t, stats_t, decisions_t) = replay(threads);
+                assert_eq!(
+                    labels_1, labels_t,
+                    "labels diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    stats_1, stats_t,
+                    "RoundStats diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    decisions_1, decisions_t,
+                    "per-batch decisions diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
 /// The flat-arena counting shuffle must be bit-identical across thread
 /// counts *and* must reproduce the reference semantics exactly: within each
 /// destination machine, tuples appear in global source order (machine-major

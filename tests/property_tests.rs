@@ -113,6 +113,160 @@ proptest! {
     }
 
     #[test]
+    fn text_to_binary_chunks_to_text_preserves_the_edge_multiset(
+        g in arb_graph(80, 200),
+        batch_edges in 1usize..40,
+    ) {
+        use wcc_graph::io::{read_edge_chunks, write_edge_chunks};
+
+        // Text leg: serialize and re-load (this is where ids are remapped).
+        let mut text1 = Vec::new();
+        write_edge_list(&g, &mut text1).unwrap();
+        let loaded = read_edge_list(std::io::Cursor::new(text1)).unwrap();
+
+        // Binary leg: the re-loaded edges in *original* ids, chunked.
+        let raw_edges: Vec<(u64, u64)> = loaded
+            .graph
+            .edge_iter()
+            .map(|(u, v)| (loaded.original_ids[u], loaded.original_ids[v]))
+            .collect();
+        let chunks: Vec<&[(u64, u64)]> = raw_edges.chunks(batch_edges).collect();
+        let mut binary = Vec::new();
+        write_edge_chunks(&chunks, &mut binary).unwrap();
+        let decoded = read_edge_chunks(std::io::Cursor::new(binary)).unwrap();
+
+        // Back to text: emit the decoded stream as edge-list lines (keeping
+        // the raw id space) and re-load it one final time.
+        let flat: Vec<(u64, u64)> = decoded.into_iter().flatten().collect();
+        let mut text2 = String::from("# decoded from the binary chunk leg\n");
+        for &(a, b) in &flat {
+            text2.push_str(&format!("{a} {b}\n"));
+        }
+        let final_loaded = read_edge_list(std::io::Cursor::new(text2.into_bytes())).unwrap();
+
+        // The normalized edge multiset survived the whole journey. (Isolated
+        // vertices don't: no serialization leg carries them, so the multiset
+        // — not the vertex count — is the invariant.)
+        let multiset = |edges: Vec<(u64, u64)>| {
+            let mut m: Vec<(u64, u64)> = edges
+                .into_iter()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            m.sort_unstable();
+            m
+        };
+        let original: Vec<(u64, u64)> =
+            g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        let survived: Vec<(u64, u64)> = final_loaded
+            .graph
+            .edge_iter()
+            .map(|(u, v)| {
+                (
+                    final_loaded.original_ids[u],
+                    final_loaded.original_ids[v],
+                )
+            })
+            .collect();
+        prop_assert_eq!(multiset(original), multiset(survived));
+    }
+
+    #[test]
+    fn truncated_chunk_streams_error_instead_of_panicking(
+        g in arb_graph(40, 100),
+        batch_edges in 1usize..20,
+        cut_permille in 0usize..1000,
+    ) {
+        use wcc_graph::io::{read_edge_chunks, write_edge_chunks, IoError};
+
+        let raw: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        let chunks: Vec<&[(u64, u64)]> = raw.chunks(batch_edges).collect();
+        let mut binary = Vec::new();
+        write_edge_chunks(&chunks, &mut binary).unwrap();
+
+        // Clean EOF is legal exactly at the header boundary and after each
+        // chunk; everywhere else the reader must report truncation (and must
+        // never panic).
+        let mut boundaries = vec![8usize];
+        let mut offset = 8usize;
+        for c in &chunks {
+            offset += 8 + 16 * c.len();
+            boundaries.push(offset);
+        }
+        let cut = binary.len() * cut_permille / 1000;
+        let result = read_edge_chunks(std::io::Cursor::new(binary[..cut].to_vec()));
+        if boundaries.contains(&cut) {
+            prop_assert!(result.is_ok(), "cut {} is a chunk boundary", cut);
+        } else {
+            prop_assert!(
+                matches!(result, Err(IoError::Truncated { .. })),
+                "cut {} inside the stream must report truncation", cut
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_chunk_headers_error_instead_of_panicking(
+        g in arb_graph(40, 100),
+        batch_edges in 1usize..20,
+        chunk_pick in 0usize..20,
+        flip_bit in 0u32..4,
+    ) {
+        use wcc_graph::io::{read_edge_chunks, write_edge_chunks, IoError};
+
+        let raw: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        if raw.is_empty() {
+            return; // a graph with no edges has no chunk header to corrupt
+        }
+        let chunks: Vec<&[(u64, u64)]> = raw.chunks(batch_edges).collect();
+        let mut binary = Vec::new();
+        write_edge_chunks(&chunks, &mut binary).unwrap();
+
+        // Corrupt the low nibble of one chunk's length header: the length is
+        // no longer a multiple of 16, which the reader must flag as Corrupt
+        // — never panic, never mis-decode.
+        let target = chunk_pick % chunks.len();
+        let mut offset = 8usize;
+        for c in chunks.iter().take(target) {
+            offset += 8 + 16 * c.len();
+        }
+        binary[offset] ^= 1u8 << flip_bit;
+        let result = read_edge_chunks(std::io::Cursor::new(binary));
+        prop_assert!(
+            matches!(result, Err(IoError::Corrupt { chunk, .. }) if chunk == target),
+            "corrupting chunk {}'s header must surface as Corrupt", target
+        );
+
+        // Corrupting the magic must surface as BadMagic.
+        let mut bad_magic = Vec::new();
+        write_edge_chunks(&chunks, &mut bad_magic).unwrap();
+        bad_magic[0] ^= 0xFF;
+        prop_assert!(matches!(
+            read_edge_chunks(std::io::Cursor::new(bad_magic)),
+            Err(IoError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn streaming_replay_is_exact_on_arbitrary_graphs(
+        g in arb_graph(50, 120),
+        seed in 0u64..8,
+        batch_edges in 1usize..60,
+    ) {
+        use wcc_core::stream::{IncrementalComponents, StreamParams};
+
+        // Arbitrary graphs violate every well-connectedness premise; the
+        // incremental engine must still land on the exact components, just
+        // like the one-shot pipeline does.
+        let truth = connected_components(&g);
+        let edges: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        let mut engine = IncrementalComponents::new(StreamParams::test_scale(), seed);
+        for chunk in edges.chunks(batch_edges) {
+            engine.apply_batch(chunk).unwrap();
+        }
+        prop_assert!(engine.labels_for_universe(g.num_vertices()).same_partition(&truth));
+    }
+
+    #[test]
     fn partition_coarsening_is_monotone(labels in proptest::collection::vec(0usize..6, 2..60)) {
         let p = Partition::from_raw_labels(&labels);
         // Coarsening by mapping every part to a single group yields one part.
