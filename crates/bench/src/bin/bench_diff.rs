@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! USAGE:
-//!   bench_diff <baseline.json> <candidate.json>
+//!   bench_diff <baseline.json> <candidate.json> [--fail-below <ratio>]
 //! ```
 //!
 //! Both files must follow the workspace's snapshot layout: a top-level
@@ -15,6 +15,12 @@
 //! got faster — plus each group's geometric-mean speedup. Benchmarks present
 //! in only one file are listed so renames are visible rather than silently
 //! dropped.
+//!
+//! `--fail-below <ratio>` turns the report into a regression gate: the exit
+//! code is failure if *any* compared benchmark's speedup falls below the
+//! given ratio (e.g. `--fail-below 0.8` tolerates up to 20% slowdown per
+//! row before failing). CI runs a self-comparison with this flag as a
+//! parser-and-gate smoke test; release comparisons run it old-vs-new.
 //!
 //! The vendored `serde_json` shim is serialise-only, so this binary carries
 //! its own minimal JSON reader (objects, arrays, strings, numbers, literals
@@ -283,12 +289,51 @@ fn mean_of(entry: &Json) -> Option<f64> {
     parse_duration_secs(entry.get("mean")?.as_str()?)
 }
 
+/// The `--fail-below` regression gate: returns the benchmarks (as
+/// `(label, speedup)`) whose speedup falls below `threshold`. Empty means
+/// the gate passes.
+fn gate_failures(ratios: &[(String, f64)], threshold: f64) -> Vec<(String, f64)> {
+    ratios
+        .iter()
+        .filter(|(_, speedup)| *speedup < threshold)
+        .cloned()
+        .collect()
+}
+
+fn parse_cli(args: &[String]) -> Result<(String, String, Option<f64>), String> {
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut fail_below = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--fail-below" {
+            let value = iter.next().ok_or("--fail-below needs a value")?;
+            let ratio: f64 = value
+                .parse()
+                .map_err(|e| format!("bad --fail-below value {value:?}: {e}"))?;
+            if !(ratio.is_finite() && ratio > 0.0) {
+                return Err(format!(
+                    "--fail-below must be a positive ratio, got {value}"
+                ));
+            }
+            fail_below = Some(ratio);
+        } else {
+            positionals.push(arg);
+        }
+    }
+    match positionals.as_slice() {
+        [a, b] => Ok(((*a).clone(), (*b).clone(), fail_below)),
+        _ => Err(
+            "usage: bench_diff <baseline.json> <candidate.json> [--fail-below <ratio>]".to_string(),
+        ),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, candidate_path] = match args.as_slice() {
-        [a, b] => [a.clone(), b.clone()],
-        _ => {
-            eprintln!("usage: bench_diff <baseline.json> <candidate.json>");
+    let (baseline_path, candidate_path, fail_below) = match parse_cli(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
@@ -314,6 +359,7 @@ fn main() -> ExitCode {
     group_names.dedup();
 
     let mut compared = 0usize;
+    let mut all_ratios: Vec<(String, f64)> = Vec::new();
     for group in group_names {
         let base = baseline_groups
             .get(group)
@@ -338,6 +384,7 @@ fn main() -> ExitCode {
                 (Some(b), Some(c)) if c > 0.0 => {
                     let speedup = b / c;
                     ratios.push(speedup);
+                    all_ratios.push((format!("{group}/{name}"), speedup));
                     compared += 1;
                     println!(
                         "  {name:<48} {:>10.3}ms -> {:>10.3}ms   x{speedup:.2}",
@@ -359,12 +406,26 @@ fn main() -> ExitCode {
         eprintln!("error: no benchmark appears in both files");
         return ExitCode::FAILURE;
     }
+    if let Some(threshold) = fail_below {
+        let failures = gate_failures(&all_ratios, threshold);
+        if !failures.is_empty() {
+            eprintln!(
+                "\nregression gate: {} benchmark(s) below x{threshold}",
+                failures.len()
+            );
+            for (label, speedup) in &failures {
+                eprintln!("  {label:<56} x{speedup:.2}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nregression gate: all {compared} compared benchmarks at or above x{threshold}");
+    }
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{mean_of, parse_duration_secs, parse_json};
+    use super::{gate_failures, mean_of, parse_cli, parse_duration_secs, parse_json};
 
     fn close(actual: Option<f64>, expected: f64) -> bool {
         actual.is_some_and(|a| (a - expected).abs() <= 1e-12 * expected.abs().max(1.0))
@@ -379,6 +440,43 @@ mod tests {
         assert!(close(parse_duration_secs(" 2.5s "), 2.5));
         assert_eq!(parse_duration_secs("oops"), None);
         assert_eq!(parse_duration_secs("12"), None);
+    }
+
+    #[test]
+    fn cli_accepts_the_fail_below_flag_anywhere() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_cli(&args(&["a.json", "b.json"])).unwrap(),
+            ("a.json".into(), "b.json".into(), None)
+        );
+        assert_eq!(
+            parse_cli(&args(&["a.json", "b.json", "--fail-below", "0.8"])).unwrap(),
+            ("a.json".into(), "b.json".into(), Some(0.8))
+        );
+        assert_eq!(
+            parse_cli(&args(&["--fail-below", "1.5", "a.json", "b.json"])).unwrap(),
+            ("a.json".into(), "b.json".into(), Some(1.5))
+        );
+        assert!(parse_cli(&args(&["a.json"])).is_err());
+        assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below"])).is_err());
+        assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below", "zero"])).is_err());
+        assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below", "-1"])).is_err());
+    }
+
+    #[test]
+    fn gate_flags_only_rows_below_threshold() {
+        let ratios = vec![
+            ("g/fast".to_string(), 1.4),
+            ("g/flat".to_string(), 1.0),
+            ("g/slow".to_string(), 0.7),
+        ];
+        assert!(gate_failures(&ratios, 0.5).is_empty());
+        let failures = gate_failures(&ratios, 0.9);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "g/slow");
+        // Threshold exactly at a row's ratio passes (strictly-below fails).
+        assert!(gate_failures(&ratios, 0.7).is_empty());
+        assert_eq!(gate_failures(&ratios, 1.2).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Phase profile of the adaptive e2e workload (`pipeline_adaptive_e2e`):
+//! runs `adaptive_components` on the same ~10⁵-edge planted-expander graph
+//! the benchmark uses and prints every phase's wall-clock share next to its
+//! model quantities (rounds, words) — the observability that drives the
+//! data-plane optimisation work (ROADMAP item 4).
+//!
+//! Usage: `exp_phase_profile [n] [threads]` (defaults: 25000 vertices, 1).
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wcc_core::prelude::*;
+use wcc_graph::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(25_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng);
+    eprintln!(
+        "graph: {} vertices, {} edges, threads={threads}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let params = Params::laptop_scale().with_threads(threads);
+    let start = Instant::now();
+    let result = adaptive_components(&g, &params, 7).expect("adaptive run");
+    let total = start.elapsed().as_secs_f64();
+
+    eprintln!(
+        "total {:.2}s, {} components, {} rounds, {} words",
+        total,
+        result.components.num_components(),
+        result.stats.total_rounds(),
+        result.stats.total_communication_words()
+    );
+
+    // Aggregate repeated phases by name, preserving first-appearance order.
+    let mut names: Vec<&str> = Vec::new();
+    for p in result.stats.phases() {
+        if !names.contains(&p.name.as_str()) {
+            names.push(&p.name);
+        }
+    }
+    println!(
+        "{:<22} {:>6} {:>10} {:>14} {:>12}",
+        "phase", "count", "rounds", "words", "wall_ms"
+    );
+    for name in names {
+        let (mut count, mut rounds, mut words, mut wall) = (0u64, 0u64, 0u64, 0.0);
+        for p in result.stats.phases().iter().filter(|p| p.name == name) {
+            count += 1;
+            rounds += p.rounds;
+            words += p.communication_words;
+            wall += p.wall_time_ms;
+        }
+        println!("{name:<22} {count:>6} {rounds:>10} {words:>14} {wall:>12.1}");
+    }
+}

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wcc_graph::{components, ComponentLabels, Graph, GraphBuilder, Partition};
-use wcc_mpc::{derive_stream_seed, MpcContext};
+use wcc_mpc::{derive_stream_seed, pack_edge, unpack_edge, Executor, MpcContext, TupleWidth};
 
 /// The grouping decided by one leader-election round on a contraction graph.
 #[derive(Debug, Clone)]
@@ -114,31 +114,126 @@ pub fn leader_election<R: Rng + ?Sized>(
 /// `partition`: one vertex per part, one edge per pair of parts joined by at
 /// least one edge of `g` (no self-loops, no parallel edges).
 ///
-/// Charges one sort over the edge list (contract + dedup). The per-edge
-/// relabelling fans out over contiguous edge chunks on the context's
-/// backend into one flat, pre-sized edge list (no per-chunk vectors to
-/// re-flatten); the sort + dedup that follows erases the (already
-/// identical) chunk order.
+/// Charges one sort over the edge list (contract + dedup). See
+/// [`contraction_graph_of_refs`] for the data-plane layout.
 pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext) -> Graph {
-    ctx.charge_sort(g.num_edges().max(1));
-    let raw = g.edges();
-    let mut edges: Vec<(usize, usize)> = ctx.executor().flat_map_ranges(raw.len(), |range| {
-        raw[range]
-            .iter()
-            .map(|&(u, v)| {
-                let (a, b) = (partition.part_of(u as usize), partition.part_of(v as usize));
-                if a <= b {
-                    (a, b)
-                } else {
-                    (b, a)
-                }
-            })
-            .filter(|&(a, b)| a != b)
-            .collect()
-    });
+    contraction_graph_of_refs(&[g], partition, ctx)
+}
+
+/// [`contraction_graph`] over the disjoint edge-set union of `graphs`
+/// (all on `partition`'s vertex set) **without materialising the union**:
+/// the contraction only needs to see every edge once, so building the
+/// union's CSR (the single largest allocation of the old endgame) is pure
+/// waste.
+///
+/// The tuple width negotiated via [`TupleWidth::negotiate`] over the part
+/// count decides the path: compact — always, unless the vertex set exceeds
+/// `u32` range, which the `(u32, u32)`-backed [`Graph`] only allows via
+/// isolated vertices — packs each relabelled edge `(a, b)`, `a ≤ b`, into
+/// the key [`pack_edge`]`(a, b)`. Lexicographic tuple order equals integer
+/// order on the packed keys, so a byte-skipping [`radix_sort_u64`] + linear
+/// dedup reproduces the wide path's `sort_unstable` + `dedup` bit for bit
+/// while moving half the bytes per tuple. The wide `(usize, usize)` path
+/// ([`contract_edges_wide`]) is the executable spec and the fallback for
+/// part counts beyond the compact identifier space — negotiation, never
+/// truncation.
+///
+/// Charges one sort over the *total* edge count, exactly what one call on
+/// the materialised union charged, with the byte column at the negotiated
+/// width. The per-edge relabelling fans out over contiguous edge chunks on
+/// the context's backend; the sort + dedup that follows erases the (already
+/// deterministic) chunk order.
+pub fn contraction_graph_of_refs(
+    graphs: &[&Graph],
+    partition: &Partition,
+    ctx: &mut MpcContext,
+) -> Graph {
+    let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let width = TupleWidth::negotiate(partition.num_parts());
+    ctx.charge_sort_with_bytes(total_edges.max(1), width.edge_bytes());
+    let edges = if width.is_compact() {
+        contract_edges_compact(graphs, partition, &ctx.executor())
+    } else {
+        contract_edges_wide(graphs, partition, &ctx.executor())
+    };
+    Graph::from_edges_unchecked(partition.num_parts(), edges)
+}
+
+/// The compact contraction data plane: relabel into `u64`-packed edges,
+/// radix sort, dedup, unpack. Caller must have negotiated
+/// [`TupleWidth::Compact`] for `partition.num_parts()`.
+fn contract_edges_compact(
+    graphs: &[&Graph],
+    partition: &Partition,
+    executor: &Executor,
+) -> Vec<(usize, usize)> {
+    let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let mut packed: Vec<u64> = Vec::new();
+    for (gi, g) in graphs.iter().enumerate() {
+        let raw = g.edges();
+        let chunk: Vec<u64> = executor.flat_map_ranges(raw.len(), |range| {
+            raw[range]
+                .iter()
+                .filter_map(|&(u, v)| {
+                    let a = partition.part_of(u as usize);
+                    let b = partition.part_of(v as usize);
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => Some(pack_edge(a, b)),
+                        std::cmp::Ordering::Greater => Some(pack_edge(b, a)),
+                        std::cmp::Ordering::Equal => None,
+                    }
+                })
+                .collect()
+        });
+        if gi == 0 {
+            packed = chunk;
+            packed.reserve(total_edges.saturating_sub(packed.len()));
+        } else {
+            packed.extend_from_slice(&chunk);
+        }
+    }
+    let mut scratch = Vec::new();
+    wcc_mpc::radix_sort_u64(&mut packed, &mut scratch);
+    packed.dedup();
+    packed.iter().map(|&k| unpack_edge(k)).collect()
+}
+
+/// The wide contraction data plane, kept as the executable specification of
+/// [`contract_edges_compact`] (differentially tested below) and the
+/// fallback when the part count exceeds the compact identifier space.
+fn contract_edges_wide(
+    graphs: &[&Graph],
+    partition: &Partition,
+    executor: &Executor,
+) -> Vec<(usize, usize)> {
+    let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (gi, g) in graphs.iter().enumerate() {
+        let raw = g.edges();
+        let chunk: Vec<(usize, usize)> = executor.flat_map_ranges(raw.len(), |range| {
+            raw[range]
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = (partition.part_of(u as usize), partition.part_of(v as usize));
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .filter(|&(a, b)| a != b)
+                .collect()
+        });
+        if gi == 0 {
+            edges = chunk;
+            edges.reserve(total_edges.saturating_sub(edges.len()));
+        } else {
+            edges.extend_from_slice(&chunk);
+        }
+    }
     edges.sort_unstable();
     edges.dedup();
-    Graph::from_edges_unchecked(partition.num_parts(), edges)
+    edges
 }
 
 /// Per-phase statistics recorded by [`grow_components`] — the measurements
@@ -262,8 +357,21 @@ pub fn finish_with_bfs(
     partition: &Partition,
     ctx: &mut MpcContext,
 ) -> (Partition, usize) {
+    finish_with_bfs_over_refs(&[g], partition, ctx)
+}
+
+/// [`finish_with_bfs`] on the disjoint union of `graphs` without ever
+/// materialising the union: the endgame only reads the union through its
+/// contraction, so [`contraction_graph_of_refs`] feeds the BFS directly.
+/// Rounds and words charged are identical to building the union first
+/// (one sort over the total edge count, then one round per BFS level).
+pub fn finish_with_bfs_over_refs(
+    graphs: &[&Graph],
+    partition: &Partition,
+    ctx: &mut MpcContext,
+) -> (Partition, usize) {
     ctx.begin_phase("low-diameter-bfs");
-    let h = contraction_graph(g, partition, ctx);
+    let h = contraction_graph_of_refs(graphs, partition, ctx);
     let k = h.num_vertices();
     let mut label = vec![usize::MAX; k];
     let mut num_components = 0usize;
@@ -315,8 +423,8 @@ pub fn components_of_random_union<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(ComponentLabels, GrowOutcome, usize), CoreError> {
     let grow = grow_components(batches, params, ctx, rng)?;
-    let union = union_of(batches);
-    let (final_partition, bfs_levels) = finish_with_bfs(&union, &grow.partition, ctx);
+    let refs: Vec<&Graph> = batches.iter().collect();
+    let (final_partition, bfs_levels) = finish_with_bfs_over_refs(&refs, &grow.partition, ctx);
     Ok((final_partition.to_component_labels(), grow, bfs_levels))
 }
 
@@ -432,6 +540,52 @@ mod tests {
             "parallel contracted edges must be deduplicated"
         );
         assert!(!h.has_self_loops());
+    }
+
+    #[test]
+    fn compact_contraction_matches_wide_spec() {
+        // The u64-packed radix path and the wide (usize, usize) spec must
+        // produce identical edge lists on the same inputs, across thread
+        // counts, graph shapes and seeds.
+        for threads in [1usize, 2, 8] {
+            let executor = Executor::threaded(threads);
+            for seed in [3u64, 11, 29] {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let g1 = generators::planted_expander_components(&[90, 70], 6, &mut rng);
+                let g2 = generators::random_out_degree_graph(160, 5, &mut rng);
+                let labels: Vec<usize> = (0..160).map(|v| v % 37).collect();
+                let part = Partition::from_raw_labels(&labels);
+                let refs = [&g1, &g2];
+                let compact = contract_edges_compact(&refs, &part, &executor);
+                let wide = contract_edges_wide(&refs, &part, &executor);
+                assert_eq!(
+                    compact, wide,
+                    "compact/wide divergence at threads={threads}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_negotiates_compact_width_for_graph_scale_parts() {
+        // Any partition a (u32, u32)-backed Graph can produce fits the
+        // compact identifier space; the byte column of the charged sort
+        // reflects the packed-u64 representation.
+        let g = Graph::from_edges_unchecked(4, vec![(0, 1), (2, 3)]);
+        let part = Partition::from_raw_labels(&[0, 0, 1, 1]);
+        assert!(TupleWidth::negotiate(part.num_parts()).is_compact());
+        let mut c = ctx();
+        c.begin_phase("contract");
+        let h = contraction_graph(&g, &part, &mut c);
+        c.end_phase();
+        assert_eq!(h.num_vertices(), 2);
+        let stats = c.into_stats();
+        let words = stats.total_communication_words();
+        assert_eq!(
+            stats.shuffled_bytes_in_phase("contract"),
+            words * TupleWidth::Compact.edge_bytes() as u64,
+            "compact contraction must charge 8 bytes per sorted item-word"
+        );
     }
 
     #[test]

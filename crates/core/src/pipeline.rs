@@ -29,7 +29,7 @@
 //! algorithm whose output may still be a refinement; Corollary 7.1's adaptive
 //! loop ([`adaptive_components`]) is built from it.
 
-use crate::leader::{finish_with_bfs, grow_components, union_of, union_of_refs, GrowPhaseStats};
+use crate::leader::{finish_with_bfs_over_refs, grow_components, GrowPhaseStats};
 use crate::params::Params;
 use crate::regularize::{regularize, CoreError};
 use crate::walks::{randomize, WalkMode};
@@ -227,16 +227,14 @@ fn run_pipeline(
     // variant also contracts the regularized graph's own edges so the output
     // is the true component partition regardless of how well the randomized
     // batches mixed.
-    let endgame_graph = if exact_endgame {
-        // Borrow the batches and the regularized graph instead of cloning the
-        // latter into a temporary vector: the union copies each edge once.
-        let mut refs: Vec<&Graph> = batches.iter().collect();
+    // The BFS only reads the union through its contraction, so hand the
+    // batches (and, in the exact variant, the regularized graph) to the
+    // endgame as borrowed refs — no union graph is ever materialised.
+    let mut refs: Vec<&Graph> = batches.iter().collect();
+    if exact_endgame {
         refs.push(&reg.graph);
-        union_of_refs(&refs)
-    } else {
-        union_of(&batches)
-    };
-    let (final_partition, bfs_levels) = finish_with_bfs(&endgame_graph, &grow.partition, ctx);
+    }
+    let (final_partition, bfs_levels) = finish_with_bfs_over_refs(&refs, &grow.partition, ctx);
     let labels_reg = final_partition.to_component_labels();
     let components = reg.pull_back_labels(&labels_reg);
 

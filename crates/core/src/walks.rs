@@ -24,18 +24,20 @@
 //!   of the theorem (the substitution is documented in DESIGN.md).
 //!
 //! Both implementations are generic over [`AdjacencyView`], and the
-//! Section 5.2 lazification runs against a virtual
+//! Section 5.2 lazification is specified against a virtual
 //! [`LazyView`](wcc_graph::LazyView) — the `Δ` added self-loops are simulated
-//! arithmetically (neighbour indices `>= deg(v)` mean "stay"), so the hot
-//! path never materialises the `2Δ`-adjacency copy that
-//! `Graph::with_self_loops` would build. The view reproduces the materialised
-//! CSR index-for-index, so walk endpoints are bit-identical either way (see
-//! DESIGN.md §5, "The walk engine").
+//! arithmetically (neighbour indices `>= deg(v)` mean "stay"). The view
+//! reproduces the materialised CSR index-for-index, so walk endpoints are
+//! bit-identical either way. At scale the direct path *does* materialise the
+//! flat `n × 2Δ` lazy-adjacency table once per regular graph: the table turns
+//! every step into one unconditional load (a "stay" draw lands on a self
+//! entry in the just-touched line), which is what lets the batched kernel run
+//! at the memory-latency floor (see DESIGN.md §5, "The walk engine").
 
 use crate::regularize::CoreError;
 
 use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use rand_chacha::{ChaCha8Batch, ChaCha8Rng};
 use wcc_graph::{AdjacencyView, Graph, GraphBuilder};
 use wcc_mpc::{derive_stream_seed, MpcContext};
 
@@ -284,6 +286,72 @@ pub fn direct_walk_visits_into<V: AdjacencyView, R: Rng + ?Sized>(
     }
 }
 
+/// Lane count of the batched lazy-walk kernel: fills one 512-bit register
+/// of `u32` lanes and keeps enough independent adjacency loads in flight to
+/// hide their latency (32 lanes measurably regress on register spills).
+const WALK_LANES: usize = 16;
+
+/// Simulates the `k` lazy walks of [`WALK_LANES`] vertices in lockstep on a
+/// regular graph given its **materialised lazy adjacency** (`span = 2Δ`
+/// entries per vertex: the `Δ` real neighbours in `neighbors` order followed
+/// by `Δ` copies of the vertex itself), writing endpoints vertex-major into
+/// `out` (`out[l * k + i]` = endpoint `i` of lane `l`). Returns `false`
+/// (with `out` unspecified) in the astronomically-rare case a lane *may*
+/// have hit the Lemire rejection loop, in which case the caller must rerun
+/// the group on the step-by-step spec path.
+///
+/// Bit-identical to running [`direct_walk_endpoint`] over the
+/// [`LazyView`](wcc_graph::LazyView) on each vertex's own `ChaCha8Rng`
+/// stream whenever it returns `true`: the vendored Lemire `gen_range` over
+/// the lazy span `2Δ` computes `m = x · 2Δ` for one `u64` `x` — two
+/// keystream words — takes the draw from `m >> 64`, and only consults a
+/// second `u64` when `m mod 2^64 < 2Δ` (probability `< 2Δ / 2^64` per
+/// step). Outside that case every lane advances exactly two words per step
+/// in lockstep, which is what lets the keystreams be generated in one
+/// batched refill per 8 steps ([`ChaCha8Batch`]).
+#[must_use]
+fn lazy_walk_lane_group(
+    lazy_adjacency: &[u32],
+    span: usize,
+    t: usize,
+    k: usize,
+    vertices: [u32; WALK_LANES],
+    seeds: &[u64; WALK_LANES],
+    out: &mut [usize],
+) -> bool {
+    debug_assert!(span > 0);
+    debug_assert_eq!(out.len(), WALK_LANES * k);
+    let mut batch = ChaCha8Batch::<WALK_LANES>::seed_from_u64s(seeds);
+    let mut block = [[0u32; WALK_LANES]; 16];
+    let mut pos = 16usize;
+    let mut near_reject = 0u64;
+    for walk in 0..k {
+        let mut cur = vertices;
+        for _ in 0..t {
+            if pos >= 16 {
+                batch.refill(&mut block);
+                pos = 0;
+            }
+            let (lo, hi) = (&block[pos], &block[pos + 1]);
+            for l in 0..WALK_LANES {
+                let x = (hi[l] as u64) << 32 | lo[l] as u64;
+                let m = x as u128 * span as u128;
+                near_reject |= ((m as u64) < span as u64) as u64;
+                // The materialised lazy row makes the lazy/real choice an
+                // unconditional load: index `>= Δ` lands on a self entry.
+                // A conditional here would be a fair coin — mispredicted
+                // every other step.
+                cur[l] = lazy_adjacency[cur[l] as usize * span + (m >> 64) as usize];
+            }
+            pos += 2;
+        }
+        for (l, &c) in cur.iter().enumerate() {
+            out[l * k + walk] = c as usize;
+        }
+    }
+    near_reject == 0
+}
+
 /// Theorem 3 + the lazification of Section 5.2, packaged for the pipeline:
 /// returns `walks_per_vertex` independent lazy-walk endpoints of length `t`
 /// for every vertex of the Δ-regular graph `g`, charging the `O(log t)` MPC
@@ -347,14 +415,52 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
                 .iter()
                 .map(|r| r.start * k..r.end * k)
                 .collect();
+            // Full lane groups batch their draws into lockstep keystream
+            // blocks; the tail of a worker's span (and any group whose
+            // lanes neared the Lemire rejection loop) runs the step-by-step
+            // spec. Both paths consume the identical per-vertex stream, so
+            // the split is invisible in the endpoints.
+            //
+            // The kernel walks a materialised lazy adjacency (`2Δ` entries
+            // per vertex, self entries for the virtual loops) so each step
+            // is one unconditional load; `n · 2Δ` words is the size of the
+            // regular graph's own CSR times two, well under the walk
+            // working-set already charged above. Half the rows' entries are
+            // self copies, so "stay" steps usually re-hit the line the lane
+            // just touched — only real moves pay a random L2/L3 access.
+            let span = 2 * delta;
+            let mut lazy_adjacency = vec![0u32; n * span];
+            for (v, row) in lazy_adjacency.chunks_exact_mut(span).enumerate() {
+                row[..delta].copy_from_slice(g.neighbors(v));
+                row[delta..].fill(v as u32);
+            }
+            let lazy_adjacency = &lazy_adjacency[..];
             executor.map_slices_mut(&mut flat, &ranges, |w, chunk| {
                 let first_vertex = vertex_spans[w].start;
-                for (j, slots) in chunk.chunks_exact_mut(k).enumerate() {
-                    let v = first_vertex + j;
+                let span_len = vertex_spans[w].len();
+                let spec_vertex = |v: usize, slots: &mut [usize]| {
                     let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
                     for slot in slots {
                         *slot = direct_walk_endpoint(&lazy, v, t, &mut vrng);
                     }
+                };
+                let mut j = 0;
+                while j + WALK_LANES <= span_len {
+                    let vertices: [u32; WALK_LANES] =
+                        core::array::from_fn(|l| (first_vertex + j + l) as u32);
+                    let seeds: [u64; WALK_LANES] = core::array::from_fn(|l| {
+                        derive_stream_seed(base, (first_vertex + j + l) as u64)
+                    });
+                    let group = &mut chunk[j * k..(j + WALK_LANES) * k];
+                    if !lazy_walk_lane_group(lazy_adjacency, span, t, k, vertices, &seeds, group) {
+                        for (l, slots) in group.chunks_exact_mut(k).enumerate() {
+                            spec_vertex(first_vertex + j + l, slots);
+                        }
+                    }
+                    j += WALK_LANES;
+                }
+                for jj in j..span_len {
+                    spec_vertex(first_vertex + jj, &mut chunk[jj * k..(jj + 1) * k]);
                 }
             });
             Ok(flat)

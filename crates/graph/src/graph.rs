@@ -197,6 +197,21 @@ impl Graph {
         self.neighbors(v).get(i).map(|&u| u as usize)
     }
 
+    /// The CSR offset array: `csr_offsets()[v]..csr_offsets()[v + 1]` indexes
+    /// [`csr_adjacency`](Self::csr_adjacency) with `v`'s neighbour list. On a
+    /// `d`-regular graph `csr_offsets()[v] == v * d`, which lets flat kernels
+    /// address adjacency closed-form.
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flattened adjacency array backing [`neighbors`](Self::neighbors):
+    /// entry order within each vertex's slice is exactly the `neighbors`
+    /// order (the one `nth_neighbor` indexes).
+    pub fn csr_adjacency(&self) -> &[u32] {
+        &self.adjacency
+    }
+
     /// Maximum degree over all vertices (`0` for an empty vertex set).
     pub fn max_degree(&self) -> usize {
         (0..self.num_vertices)

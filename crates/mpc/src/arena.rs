@@ -260,6 +260,61 @@ pub(crate) fn scatter_owned<T: Send>(
     assume_init_vec(out)
 }
 
+/// Like [`scatter_owned`] but applying `f` to each element as it moves:
+/// `out[slot(i)] = f(src[i])`. This is the fused map+shuffle superstep — the
+/// element is transformed in the single pass that relocates it, so no
+/// intermediate arena of mapped-but-unshuffled tuples is ever materialised.
+#[allow(unsafe_code)]
+pub(crate) fn scatter_map_owned<T: Send, U: Send, F>(
+    executor: &Executor,
+    mut src: Vec<T>,
+    dests: &[usize],
+    ranges: &[Range<usize>],
+    cursors: &mut [usize],
+    num_dests: usize,
+    f: F,
+) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = src.len();
+    assert_eq!(dests.len(), n, "one destination per element required");
+    assert_eq!(
+        ranges.len() * num_dests,
+        cursors.len(),
+        "one cursor row per range"
+    );
+    debug_check_scatter_plan(dests, ranges, cursors, num_dests);
+    let mut out = uninit_vec::<U>(n);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let src_ptr = SendPtr(src.as_mut_ptr());
+    let cursor_ptr = SendPtr(cursors.as_mut_ptr());
+    // SAFETY: as in `permute_owned` — length zeroed before any read.
+    unsafe { src.set_len(0) };
+    executor.run_spans(ranges, |w, range| {
+        // SAFETY: worker `w` touches only its own stride-`num_dests` cursor
+        // row (rows are disjoint across workers), and the table outlives the
+        // joined scope.
+        let cursor = unsafe {
+            std::slice::from_raw_parts_mut(cursor_ptr.get().add(w * num_dests), num_dests)
+        };
+        for i in range {
+            let slot = cursor[dests[i]];
+            cursor[dests[i]] += 1;
+            // SAFETY: ranges are disjoint (each `src[i]` read once) and the
+            // cursor windows partition the output (each slot written once);
+            // both buffers outlive the joined scope. If `f` panics, the
+            // element it consumed is gone but everything else merely leaks
+            // (source length is already zero) — no double drop.
+            unsafe {
+                let t = src_ptr.get().add(i).read();
+                out_ptr.get().add(slot).cast::<U>().write(f(t));
+            }
+        }
+    });
+    assume_init_vec(out)
+}
+
 /// Like [`scatter_owned`] but cloning out of a borrowed source.
 #[allow(unsafe_code)]
 pub(crate) fn scatter_cloned<T: Clone + Send + Sync>(
@@ -453,6 +508,41 @@ mod tests {
             expected_groups.extend((0..300u64).map(|i| i % 7).filter(|&k| k % 5 == d));
         }
         assert_eq!(owned, expected_groups);
+    }
+
+    #[test]
+    fn scatter_map_owned_matches_scatter_then_map() {
+        let exec = Executor::threaded(3);
+        let src: Vec<u64> = (0..300).map(|i| i * 3 % 101).collect();
+        let dests: Vec<usize> = src.iter().map(|&k| (k % 5) as usize).collect();
+        let ranges = exec.worker_spans(300);
+        let mut totals = vec![0usize; 5];
+        let mut starts: Vec<Vec<usize>> = Vec::new();
+        for r in &ranges {
+            starts.push(totals.clone());
+            for &d in &dests[r.clone()] {
+                totals[d] += 1;
+            }
+        }
+        let mut base = [0usize; 5];
+        for d in 1..5 {
+            base[d] = base[d - 1] + totals[d - 1];
+        }
+        let mut cursors: Vec<usize> = starts
+            .iter()
+            .flat_map(|s| (0..5).map(|d| base[d] + s[d]))
+            .collect();
+        let mut cursors_fused = cursors.clone();
+        let unfused: Vec<String> =
+            scatter_owned(&exec, src.clone(), &dests, &ranges, &mut cursors, 5)
+                .into_iter()
+                .map(|k: u64| format!("<{k}>"))
+                .collect();
+        let fused = scatter_map_owned(&exec, src, &dests, &ranges, &mut cursors_fused, 5, |k| {
+            format!("<{k}>")
+        });
+        assert_eq!(fused, unfused);
+        assert_eq!(cursors, cursors_fused);
     }
 
     #[test]

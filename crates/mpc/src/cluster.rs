@@ -14,6 +14,14 @@
 //! shuffle* (parallel per-worker destination histograms, an exclusive
 //! prefix-sum offset table, then a parallel scatter straight into the
 //! preallocated output arena) rather than a clone-into-buckets pass.
+//! Two further reductions in bytes moved: a `map_local_owned` immediately
+//! followed (or preceded) by a shuffle can run as one *fused* superstep
+//! ([`Cluster::shuffle_map_owned`] / [`Cluster::map_shuffle_owned`]) whose
+//! scatter applies the transform while relocating, skipping the
+//! intermediate arena entirely; and a shuffle whose counting pass proves
+//! the routing is the identity permutation (every tuple already sits on its
+//! destination machine) skips the scatter and reuses the arena — with the
+//! model cost (rounds, words) charged unchanged in both cases.
 //!
 //! Aggregation is sort-based: [`Cluster::reduce_by_key`]'s combiner passes
 //! cache each machine's tuple keys once, stably argsort them with an 8-bit
@@ -108,6 +116,16 @@ impl<T> Cluster<T> {
     pub fn with_words_per_tuple(mut self, words: usize) -> Self {
         self.words_per_tuple = words.max(1);
         self
+    }
+
+    /// Charges each tuple its *natural* width,
+    /// `⌈size_of::<T>() / 8⌉` words ([`crate::compact::natural_words_per_tuple`]):
+    /// a `u64`-packed compact edge charges 1 word where the historical
+    /// default charges 2. Opt-in — the default stays 2 words so existing
+    /// callers' recorded model quantities are unchanged.
+    pub fn with_natural_width(self) -> Self {
+        let words = crate::compact::natural_words_per_tuple::<T>();
+        self.with_words_per_tuple(words)
     }
 
     /// Builds a cluster directly from explicit per-machine partitions.
@@ -467,18 +485,41 @@ impl<T> Cluster<T> {
         }
     }
 
-    /// Shared accounting tail of both shuffle variants: charges the round and
-    /// checks every destination machine's load, in machine order.
+    /// Shared accounting tail of every shuffle variant: charges the round
+    /// (model words at `words_per_tuple`, host bytes at
+    /// `wire_bytes_per_tuple` — the size of the representation that actually
+    /// crosses the simulated wire) and checks every destination machine's
+    /// load, in machine order.
     fn charge_and_check_shuffle(
         &self,
         ctx: &mut MpcContext,
         dest_offsets: &[usize],
+        wire_bytes_per_tuple: usize,
     ) -> Result<(), MpcError> {
-        ctx.charge_shuffle(self.arena.len() * self.words_per_tuple);
+        ctx.charge_shuffle_with_bytes(
+            self.arena.len() * self.words_per_tuple,
+            self.arena.len() * wire_bytes_per_tuple,
+        );
         let budget = ctx.config().memory_per_machine;
         let mut loads = WorkerStats::new();
         loads.record_span_loads(dest_offsets, self.words_per_tuple, budget);
         ctx.absorb_workers([loads])
+    }
+
+    /// Returns `true` iff every tuple's planned destination is the machine
+    /// it already occupies. In that case the stable counting scatter is the
+    /// identity permutation — destination-major grouping equals the current
+    /// machine-major grouping, and within each machine "global source order"
+    /// is the current order — so the arena can be reused as-is. The *model*
+    /// cost is unchanged (the round and the traffic are still charged: in
+    /// the MPC model every machine still sends its tuples, the simulator
+    /// just skips re-materialising an arena it can prove is bit-identical;
+    /// see DESIGN.md §8).
+    fn plan_is_identity(&self, dests: &[usize]) -> bool {
+        self.offsets
+            .windows(2)
+            .enumerate()
+            .all(|(machine, w)| dests[w[0]..w[1]].iter().all(|&d| d == machine))
     }
 
     /// One communication superstep: re-partitions every tuple to machine
@@ -507,16 +548,22 @@ impl<T> Cluster<T> {
         let mut scratch = ctx.take_scratch();
         let plan = self.counting_shuffle_plan(&key, &mut scratch);
         let m = self.num_machines().max(1);
-        let arena = arena::scatter_cloned(
-            &self.executor,
-            &self.arena,
-            &scratch.dests,
-            &plan.ranges,
-            &mut scratch.cursors,
-            m,
-        );
+        let arena = if self.plan_is_identity(&scratch.dests) {
+            debug_assert_eq!(plan.dest_offsets, self.offsets);
+            self.arena.clone()
+        } else {
+            arena::scatter_cloned(
+                &self.executor,
+                &self.arena,
+                &scratch.dests,
+                &plan.ranges,
+                &mut scratch.cursors,
+                m,
+            )
+        };
         ctx.restore_scratch(scratch);
-        let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
+        let check =
+            self.charge_and_check_shuffle(ctx, &plan.dest_offsets, std::mem::size_of::<T>());
         let result = Cluster {
             arena,
             offsets: plan.dest_offsets,
@@ -546,16 +593,135 @@ impl<T> Cluster<T> {
     {
         let mut scratch = ctx.take_scratch();
         let plan = self.counting_shuffle_plan(&key, &mut scratch);
-        let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets);
+        let check =
+            self.charge_and_check_shuffle(ctx, &plan.dest_offsets, std::mem::size_of::<T>());
         let m = self.num_machines().max(1);
-        let arena = arena::scatter_owned(
-            &self.executor,
-            self.arena,
-            &scratch.dests,
-            &plan.ranges,
-            &mut scratch.cursors,
-            m,
-        );
+        let arena = if self.plan_is_identity(&scratch.dests) {
+            debug_assert_eq!(plan.dest_offsets, self.offsets);
+            self.arena
+        } else {
+            arena::scatter_owned(
+                &self.executor,
+                self.arena,
+                &scratch.dests,
+                &plan.ranges,
+                &mut scratch.cursors,
+                m,
+            )
+        };
+        ctx.restore_scratch(scratch);
+        let result = Cluster {
+            arena,
+            offsets: plan.dest_offsets,
+            words_per_tuple: self.words_per_tuple,
+            executor: self.executor,
+        };
+        check.map(|()| result)
+    }
+
+    /// Fused *shuffle-then-map* superstep: equivalent to
+    /// `self.shuffle_by_key_owned(ctx, key)?.map_local_owned(f)` — identical
+    /// output, statistics and errors — but the transform is applied in the
+    /// single scatter pass that relocates each tuple, so the intermediate
+    /// arena of shuffled-but-unmapped tuples is never materialised. The
+    /// unfused sequence is the executable specification this op is
+    /// differentially tested against (`tests/cluster_properties.rs`).
+    ///
+    /// The wire cost is that of the shuffle: `len()` tuples of `T` (the map
+    /// happens after the communication round, on the destination machines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if any destination
+    /// machine would exceed its budget.
+    pub fn shuffle_map_owned<U, K, F>(
+        self,
+        ctx: &mut MpcContext,
+        key: K,
+        f: F,
+    ) -> Result<Cluster<U>, MpcError>
+    where
+        T: Send + Sync,
+        U: Send,
+        K: Fn(&T) -> u64 + Sync,
+        F: Fn(T) -> U + Sync,
+    {
+        self.fused_shuffle_owned(ctx, key, f, std::mem::size_of::<T>())
+    }
+
+    /// Fused *map-then-shuffle* superstep: equivalent to
+    /// `self.map_local_owned(f).shuffle_by_key_owned(ctx, key)` for any
+    /// `key` satisfying the **legality rule** below — identical output,
+    /// statistics and errors — again skipping the intermediate arena.
+    ///
+    /// **Legality rule**: `route_key(&t) == key(&f(t))` for every tuple,
+    /// i.e. the routing key of a tuple must be computable *before* the map.
+    /// This is what lets the counting pass run on the unmapped arena while
+    /// the scatter emits mapped tuples; it is the caller's contract (the
+    /// differential tests pin it for the workspace's uses) and cannot be
+    /// checked here because `key` is never materialised — see DESIGN.md §8.
+    ///
+    /// The wire cost is that of the *mapped* representation: the map happens
+    /// before the communication round, so `len()` tuples of `U` cross the
+    /// wire. Routing a wide tuple by a pre-computable key while shipping
+    /// only its compact image is exactly the narrowing superstep of the
+    /// compact data plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] in strict mode if any destination
+    /// machine would exceed its budget.
+    pub fn map_shuffle_owned<U, F, R>(
+        self,
+        ctx: &mut MpcContext,
+        f: F,
+        route_key: R,
+    ) -> Result<Cluster<U>, MpcError>
+    where
+        T: Send + Sync,
+        U: Send,
+        R: Fn(&T) -> u64 + Sync,
+        F: Fn(T) -> U + Sync,
+    {
+        self.fused_shuffle_owned(ctx, route_key, f, std::mem::size_of::<U>())
+    }
+
+    /// Shared body of the fused supersteps: one counting pass keyed on the
+    /// *source* tuples, one scatter that applies `f` while moving. The two
+    /// public wrappers differ only in which representation they charge for
+    /// (`T` when the map runs after the wire, `U` when it runs before).
+    fn fused_shuffle_owned<U, K, F>(
+        self,
+        ctx: &mut MpcContext,
+        key: K,
+        f: F,
+        wire_bytes_per_tuple: usize,
+    ) -> Result<Cluster<U>, MpcError>
+    where
+        T: Send + Sync,
+        U: Send,
+        K: Fn(&T) -> u64 + Sync,
+        F: Fn(T) -> U + Sync,
+    {
+        let mut scratch = ctx.take_scratch();
+        let plan = self.counting_shuffle_plan(&key, &mut scratch);
+        let check = self.charge_and_check_shuffle(ctx, &plan.dest_offsets, wire_bytes_per_tuple);
+        let m = self.num_machines().max(1);
+        let arena = if self.plan_is_identity(&scratch.dests) {
+            debug_assert_eq!(plan.dest_offsets, self.offsets);
+            // The relocation is the identity, but the map still runs.
+            arena::map_owned(&self.executor, self.arena, &f)
+        } else {
+            arena::scatter_map_owned(
+                &self.executor,
+                self.arena,
+                &scratch.dests,
+                &plan.ranges,
+                &mut scratch.cursors,
+                m,
+                f,
+            )
+        };
         ctx.restore_scratch(scratch);
         let result = Cluster {
             arena,
@@ -765,7 +931,13 @@ fn route_and_merge_partials<A>(
     scratch: &mut ShuffleScratch,
 ) -> Result<Vec<(u64, A)>, MpcError> {
     let total: usize = combined.iter().map(Vec::len).sum();
-    ctx.charge_shuffle(total * words_per_tuple);
+    // Bytes reflect the actual partial-accumulator representation; the
+    // hash-based spec below charges identically, keeping the differential
+    // contract (`stats equal`) intact.
+    ctx.charge_shuffle_with_bytes(
+        total * words_per_tuple,
+        total * std::mem::size_of::<(u64, A)>(),
+    );
     let m = num_machines.max(1);
 
     // Counting pass: destination of every partial (cached — the scatter
@@ -859,7 +1031,10 @@ fn route_and_merge_partials_hashmap<A>(
 ) -> Result<Vec<(u64, A)>, MpcError> {
     use std::collections::HashMap;
     let total: usize = combined.iter().map(Vec::len).sum();
-    ctx.charge_shuffle(total * words_per_tuple);
+    ctx.charge_shuffle_with_bytes(
+        total * words_per_tuple,
+        total * std::mem::size_of::<(u64, A)>(),
+    );
     let m = num_machines.max(1);
     let mut partials: Vec<Vec<(u64, A)>> = (0..m).map(|_| Vec::new()).collect();
     for machine in combined {

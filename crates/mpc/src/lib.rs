@@ -52,6 +52,7 @@
 #[allow(unsafe_code)]
 mod arena;
 pub mod cluster;
+pub mod compact;
 pub mod config;
 pub mod executor;
 pub mod primitives;
@@ -60,13 +61,18 @@ pub mod stats;
 pub mod stream;
 
 pub use crate::cluster::{Cluster, KeyedTuple};
+pub use crate::compact::{
+    natural_words_per_tuple, pack_edge, unpack_edge, CompactVertex, TupleWidth, WORD_BYTES,
+};
 pub use crate::config::{MpcConfig, MpcError};
 pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend, THREADS_ENV_VAR};
+pub use crate::radix::radix_sort_u64;
 pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::cluster::{Cluster, KeyedTuple};
+    pub use crate::compact::{natural_words_per_tuple, CompactVertex, TupleWidth};
     pub use crate::config::{MpcConfig, MpcError};
     pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend};
     pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};

@@ -41,7 +41,9 @@ where
     F: Fn(&T) -> K + Sync,
 {
     let n = cluster.len();
-    ctx.charge_sort(n);
+    // Model cost in items (unchanged); the byte column records the actual
+    // tuple representation being permuted.
+    ctx.charge_sort_with_bytes(n, std::mem::size_of::<T>());
     let executor = cluster.executor();
     // Per-machine local sorts, decorated with their keys (computed once, in
     // the worker that owns the machine).
@@ -82,9 +84,14 @@ where
     let offsets: Vec<usize> = (0..=machines).map(|i| (i * chunk).min(n)).collect();
     let budget = ctx.config().memory_per_machine;
     let mut loads = WorkerStats::new();
-    loads.record_span_loads(&offsets, 2, budget);
+    // Charge the cluster's actual per-tuple width (historically hardcoded
+    // to the 2-word default, which undercounted wide and overcounted
+    // compact clusters).
+    loads.record_span_loads(&offsets, cluster.words_per_tuple(), budget);
     ctx.absorb_workers([loads])?;
-    Ok(Cluster::from_arena(all, offsets).with_executor(executor))
+    Ok(Cluster::from_arena(all, offsets)
+        .with_words_per_tuple(cluster.words_per_tuple())
+        .with_executor(executor))
 }
 
 /// Stable two-way merge preferring the left run on equal keys.

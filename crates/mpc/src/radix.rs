@@ -133,6 +133,68 @@ impl RadixScratch {
     }
 }
 
+/// Sorts `keys` ascending in place with the same 8-bit LSD strategy as
+/// [`RadixScratch::argsort_by`]: byte positions on which every key agrees
+/// (found from one AND/OR sweep) are skipped, so keys packed from small
+/// integers — the compact `(part_a << 32) | part_b` edge encoding of the
+/// contraction paths — pay only for the bytes that actually vary. `scratch`
+/// is the ping-pong buffer; callers that sort repeatedly should reuse it.
+///
+/// For `u64` keys LSD radix and `sort_unstable` produce the same sequence
+/// (a total order leaves nothing for stability to distinguish), so this is a
+/// drop-in, bit-identical replacement for `Vec::sort_unstable` — small
+/// inputs simply take that comparison path directly.
+pub fn radix_sort_u64(keys: &mut Vec<u64>, scratch: &mut Vec<u64>) {
+    let n = keys.len();
+    if n < 4 * SMALL_SORT_THRESHOLD {
+        keys.sort_unstable();
+        return;
+    }
+    let mut all_and = u64::MAX;
+    let mut all_or = 0u64;
+    for &k in keys.iter() {
+        all_and &= k;
+        all_or |= k;
+    }
+    let varying = all_and ^ all_or;
+    if varying == 0 {
+        return;
+    }
+    scratch.clear();
+    scratch.resize(n, 0);
+    let mut in_keys = true;
+    for pass in 0..8u32 {
+        let shift = pass * 8;
+        if (varying >> shift) & 0xFF == 0 {
+            continue;
+        }
+        let (src, dst): (&[u64], &mut [u64]) = if in_keys {
+            (keys, scratch)
+        } else {
+            (scratch, keys)
+        };
+        let mut hist = [0usize; 256];
+        for &k in src {
+            hist[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut sum = 0usize;
+        for h in hist.iter_mut() {
+            let count = *h;
+            *h = sum;
+            sum += count;
+        }
+        for &k in src {
+            let b = ((k >> shift) & 0xFF) as usize;
+            dst[hist[b]] = k;
+            hist[b] += 1;
+        }
+        in_keys = !in_keys;
+    }
+    if !in_keys {
+        std::mem::swap(keys, scratch);
+    }
+}
+
 /// The per-context scratch pool reused across successive `shuffle_by_key` /
 /// `reduce_by_key` calls: tuple destinations, per-worker destination
 /// histograms and write-cursor tables (both worker-major, stride = number of
@@ -256,6 +318,55 @@ mod tests {
         // Ties kept arrival order: the first "1" is the one from index 1.
         assert_eq!(scratch.order()[1], 1);
         assert_eq!(scratch.order()[2], 3);
+    }
+
+    #[test]
+    fn radix_sort_u64_matches_sort_unstable() {
+        for n in [
+            0usize,
+            1,
+            7,
+            4 * SMALL_SORT_THRESHOLD - 1,
+            4 * SMALL_SORT_THRESHOLD,
+            5000,
+        ] {
+            let mut keys: Vec<u64> = (0..n as u64)
+                .map(|i| {
+                    // Packed-edge-shaped keys: two small halves, with dups.
+                    let a = i.wrapping_mul(0x9E37_79B9) % 300;
+                    let b = i.wrapping_mul(0x85EB_CA6B) % 300;
+                    (a.min(b) << 32) | a.max(b)
+                })
+                .collect();
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            let mut scratch = Vec::new();
+            radix_sort_u64(&mut keys, &mut scratch);
+            assert_eq!(keys, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_u64_handles_constant_and_full_width_keys() {
+        let mut constant = vec![42u64; 4 * SMALL_SORT_THRESHOLD + 3];
+        let mut scratch = Vec::new();
+        radix_sort_u64(&mut constant, &mut scratch);
+        assert!(constant.iter().all(|&k| k == 42));
+
+        let mut wide: Vec<u64> = (0..3000u64)
+            .map(|i| {
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left((i % 64) as u32)
+            })
+            .collect();
+        let mut expected = wide.clone();
+        expected.sort_unstable();
+        radix_sort_u64(&mut wide, &mut scratch);
+        assert_eq!(wide, expected);
+        // Scratch is reusable across calls.
+        let mut again: Vec<u64> = (0..2000u64).rev().collect();
+        radix_sort_u64(&mut again, &mut scratch);
+        assert!(again.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -225,6 +225,59 @@ fn streaming_ingestion_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The fused supersteps (`shuffle_map_owned` / `map_shuffle_owned`) and the
+/// identity-shuffle short circuit must be bit-identical across thread
+/// counts: the fused scatter writes mapped tuples from concurrent workers
+/// and the short circuit skips the scatter entirely, so both are new ways
+/// for thread count to leak into output order — this pins them to the
+/// 1-thread run, stats included.
+#[test]
+fn fused_supersteps_are_bit_identical_across_thread_counts() {
+    use wcc_mpc::{Cluster, MpcConfig, MpcContext};
+
+    for seed in SEEDS {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tuples: Vec<(u64, u64)> = (0..3000u64)
+            .map(|i| (rand::Rng::gen_range(&mut rng, 0..97u64), i))
+            .collect();
+
+        let run = |threads: usize| {
+            let cfg = MpcConfig::with_memory(1 << 14, 256).with_threads(threads);
+            let mut ctx = MpcContext::new(cfg);
+            // A real (non-identity) fused shuffle-then-map...
+            let grouped = Cluster::from_tuples(&cfg, tuples.clone())
+                .shuffle_map_owned(&mut ctx, |t| t.0, |t| (t.0, t.1.wrapping_mul(3)))
+                .unwrap();
+            // ...then a fused map-then-shuffle whose routing is the identity
+            // permutation (same key, tuples already grouped), taking the
+            // short circuit while still applying the narrowing map. The
+            // route key pre-computes the mapped key (keys are < 97, so the
+            // u32 narrowing is lossless): `route_key(&t) == key(&f(t))`.
+            let again = grouped
+                .map_shuffle_owned(&mut ctx, |t| (t.0 as u32, t.1 as u32), |t| t.0)
+                .unwrap();
+            (again.offsets().to_vec(), again.gather(), ctx.into_stats())
+        };
+
+        let baseline = run(1);
+        for threads in THREADED {
+            let out = run(threads);
+            assert_eq!(
+                baseline.0, out.0,
+                "offsets diverged (seed {seed}, threads {threads})"
+            );
+            assert_eq!(
+                baseline.1, out.1,
+                "tuples diverged (seed {seed}, threads {threads})"
+            );
+            assert_eq!(
+                baseline.2, out.2,
+                "stats diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
 /// The flat-arena counting shuffle must be bit-identical across thread
 /// counts *and* must reproduce the reference semantics exactly: within each
 /// destination machine, tuples appear in global source order (machine-major

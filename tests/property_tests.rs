@@ -267,6 +267,50 @@ proptest! {
     }
 
     #[test]
+    fn compact_edge_codec_round_trips_and_preserves_order(
+        a1 in proptest::num::u32::ANY,
+        b1 in proptest::num::u32::ANY,
+        a2 in proptest::num::u32::ANY,
+        b2 in proptest::num::u32::ANY,
+    ) {
+        use wcc_mpc::{pack_edge, unpack_edge};
+
+        // Every id in the u32 space round-trips through the packed u64...
+        let p1 = pack_edge(a1 as usize, b1 as usize);
+        let p2 = pack_edge(a2 as usize, b2 as usize);
+        prop_assert_eq!(unpack_edge(p1), (a1 as usize, b1 as usize));
+        prop_assert_eq!(unpack_edge(p2), (a2 as usize, b2 as usize));
+        // ...and the packing is order-preserving: u64 comparison of packed
+        // edges agrees with lexicographic comparison of the tuples, which
+        // is what lets the contraction radix-sort packed words directly.
+        prop_assert_eq!(p1.cmp(&p2), (a1, b1).cmp(&(a2, b2)));
+    }
+
+    #[test]
+    fn width_negotiation_is_compact_exactly_up_to_the_u32_id_space(
+        small_ids in 0usize..(1 << 20),
+        near_boundary in 0usize..8,
+    ) {
+        use wcc_mpc::compact::COMPACT_ID_SPACE;
+        use wcc_mpc::{pack_edge, unpack_edge, TupleWidth};
+
+        // Graph-scale id spaces always negotiate the compact width.
+        prop_assert!(TupleWidth::negotiate(small_ids).is_compact());
+
+        // Straddling the boundary: an id space of up to 2^32 ids (top id
+        // 2^32 - 1 still fits a u32) negotiates compact; anything larger
+        // must fall back to the wide path instead of truncating ids.
+        let ids = (1usize << 32) - 4 + near_boundary;
+        let width = TupleWidth::negotiate(ids);
+        prop_assert_eq!(width.is_compact(), (ids as u128) <= COMPACT_ID_SPACE);
+        if width.is_compact() {
+            // No truncation: the largest id of a compact space round-trips.
+            let top = ids - 1;
+            prop_assert_eq!(unpack_edge(pack_edge(top, top)), (top, top));
+        }
+    }
+
+    #[test]
     fn partition_coarsening_is_monotone(labels in proptest::collection::vec(0usize..6, 2..60)) {
         let p = Partition::from_raw_labels(&labels);
         // Coarsening by mapping every part to a single group yields one part.

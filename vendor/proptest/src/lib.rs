@@ -5,7 +5,8 @@
 //! property-testing value — many random cases per invariant, reproducible
 //! across runs — without the shrinking machinery. Supported surface:
 //! [`Strategy`] for integer ranges and tuples, [`prop_map`][Strategy::prop_map]
-//! / [`prop_flat_map`][Strategy::prop_flat_map], [`collection::vec`], the
+//! / [`prop_flat_map`][Strategy::prop_flat_map], [`collection::vec`],
+//! [`bool::ANY`] and the full-range [`num`] strategies, the
 //! [`proptest!`] macro with `#![proptest_config(...)]`, and the
 //! `prop_assert*` macros.
 
@@ -139,6 +140,60 @@ pub mod collection {
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform boolean strategy (see [`ANY`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod num {
+    //! Full-range numeric strategies (`proptest::num::u32::ANY`), uniform
+    //! over the type's whole value range — unlike `Range` strategies, these
+    //! include the type's maximum value.
+
+    macro_rules! full_range_module {
+        ($($m:ident),*) => {$(
+            pub mod $m {
+                use crate::{Strategy, TestRng};
+                use rand::Rng;
+
+                /// Full-range strategy (see [`ANY`]).
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// The type's whole value range, uniform.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $m;
+
+                    fn generate(&self, rng: &mut TestRng) -> $m {
+                        rng.gen()
+                    }
+                }
+            }
+        )*};
+    }
+
+    full_range_module!(u32, u64);
 }
 
 /// Runner configuration; only `cases` is meaningful in the shim.

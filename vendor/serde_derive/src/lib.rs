@@ -5,8 +5,11 @@
 //! [`proc_macro::TokenTree`]s and emits the impl as a source string. It
 //! supports exactly the shapes this workspace uses: non-generic structs
 //! (named, tuple, unit) and non-generic enums with unit, tuple, or
-//! struct-like variants. `#[serde(...)]` attributes are not supported and
-//! absent from the tree.
+//! struct-like variants. `#[serde(...)]` attributes are accepted and
+//! ignored (the workspace uses `#[serde(default)]` to document
+//! forward-compatibility of on-disk records; the shim's serializer always
+//! writes every field and its deserializer is a marker trait, so ignoring
+//! the attribute is behaviour-preserving).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -231,7 +234,7 @@ fn object_literal(entries: &[(String, String)]) -> String {
     format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = item.name().to_string();
@@ -311,7 +314,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive shim: generated impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = item.name();
