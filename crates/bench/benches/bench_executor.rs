@@ -76,5 +76,56 @@ fn bench_walk_fanout_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_backends, bench_walk_fanout_backends);
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    // Pure dispatch latency: tiny fan-outs where the work per index is a
+    // few nanoseconds, so the measurement is dominated by what it costs to
+    // get work onto the workers and results back. `pool_*` rows go through
+    // the persistent pool (production path); `scoped_*` rows go through the
+    // retired one-`thread::scope`-spawn-per-range backend, kept as
+    // `map_*_scoped_reference` precisely for this comparison. The gap
+    // between the two is what the pool saves on *every* superstep of a
+    // pipeline run, and unlike the e2e rows it is visible even on a 1-core
+    // host (spawn cost is overhead, not lost parallelism).
+    use wcc_mpc::Executor;
+
+    let mut group = c.benchmark_group("executor_dispatch_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for &threads in &[2usize, 4] {
+        let exec = Executor::threaded(threads);
+        // Warm the pool so spawn cost is not attributed to the first sample.
+        let _ = exec.map_ranges(threads * 4, |r| r.len());
+        for &n in &[64usize, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool_t{threads}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        exec.map_ranges(n, |r| r.fold(0u64, |a, i| a ^ (i as u64).rotate_left(7)))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scoped_t{threads}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        exec.map_ranges_scoped_reference(n, |r| {
+                            r.fold(0u64, |a, i| a ^ (i as u64).rotate_left(7))
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_backends,
+    bench_walk_fanout_backends,
+    bench_dispatch_overhead
+);
 criterion_main!(benches);

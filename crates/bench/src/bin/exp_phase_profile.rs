@@ -4,7 +4,10 @@
 //! model quantities (rounds, words) — the observability that drives the
 //! data-plane optimisation work (ROADMAP item 4).
 //!
-//! Usage: `exp_phase_profile [n] [threads]` (defaults: 25000 vertices, 1).
+//! Usage: `exp_phase_profile [n] [threads]`, or with flags:
+//! `exp_phase_profile [n] --threads <t>` (defaults: 25000 vertices,
+//! 1 thread; `--threads 0` means one worker per available CPU), so a
+//! profile can be captured per backend without `WCC_THREADS` juggling.
 
 use std::time::Instant;
 
@@ -14,9 +17,26 @@ use wcc_core::prelude::*;
 use wcc_graph::prelude::*;
 
 fn main() {
+    let mut positional: Vec<usize> = Vec::new();
+    let mut threads_flag: Option<usize> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(25_000);
-    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads_flag = Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count (0 = one per available CPU)"),
+            );
+        } else {
+            positional.push(arg.parse().expect("positional arguments are numbers"));
+        }
+    }
+    let n: usize = positional.first().copied().unwrap_or(25_000);
+    let threads: usize = match threads_flag.or_else(|| positional.get(1).copied()) {
+        Some(0) => wcc_mpc::Executor::auto_threads(),
+        Some(t) => t,
+        None => 1,
+    };
 
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let g = generators::planted_expander_components(&[n / 2, n / 2], 8, &mut rng);

@@ -6,8 +6,12 @@
 //! after: labels must be bit-identical, model quantities may move only
 //! where DESIGN.md documents why.
 //!
-//! Usage: `golden_dump [--big]` (`--big` adds the 10^5-edge adaptive
-//! benchmark workload, which takes minutes on the unoptimised plane).
+//! Usage: `golden_dump [--big] [--threads <n>]`. `--big` adds the
+//! 10^5-edge adaptive benchmark workload (which takes minutes on the
+//! unoptimised plane). `--threads <n>` replaces the default 1-and-4 thread
+//! matrix with the single given count — handy for profiling one backend —
+//! with `0` meaning one worker per available CPU; labels are identical for
+//! every thread count either way (that equality is what this tool gates).
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,10 +62,31 @@ fn report(
 }
 
 fn main() {
-    let big = std::env::args().any(|a| a == "--big");
+    let mut big = false;
+    let mut thread_matrix = vec![1usize, 4];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--big" => big = true,
+            "--threads" => {
+                let t: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count (0 = one per available CPU)");
+                thread_matrix = vec![if t == 0 {
+                    wcc_mpc::Executor::auto_threads()
+                } else {
+                    t
+                }];
+            }
+            other => {
+                panic!("unknown argument {other} (usage: golden_dump [--big] [--threads <n>])")
+            }
+        }
+    }
 
     for family in ["planted", "cliques", "bridge"] {
-        for threads in [1usize, 4] {
+        for &threads in &thread_matrix {
             for seed in [3u64, 11] {
                 let g = graph(family, 1000 + seed);
                 let params = Params::laptop_scale().with_threads(threads);
@@ -80,7 +105,7 @@ fn main() {
     }
 
     for family in ["planted", "cliques"] {
-        for threads in [1usize, 4] {
+        for &threads in &thread_matrix {
             let g = graph(family, 1007);
             let params = Params::laptop_scale().with_threads(threads);
             let r = adaptive_components(&g, &params, 7).expect("adaptive");
@@ -97,7 +122,7 @@ fn main() {
     }
 
     for family in ["er", "cliques"] {
-        for threads in [1usize, 4] {
+        for &threads in &thread_matrix {
             for seed in [5u64, 13] {
                 let g = graph(family, 2000 + seed);
                 let mem = ((g.num_vertices() as f64).sqrt() as usize * 8).max(64);
@@ -117,8 +142,9 @@ fn main() {
     }
 
     if big {
+        let threads = thread_matrix[0];
         let g = graph("bench", 5);
-        let params = Params::laptop_scale().with_threads(1);
+        let params = Params::laptop_scale().with_threads(threads);
         let start = std::time::Instant::now();
         let r = adaptive_components(&g, &params, 7).expect("adaptive big");
         let secs = start.elapsed().as_secs_f64();
@@ -126,7 +152,7 @@ fn main() {
         report(
             "adaptive-big",
             "bench",
-            1,
+            threads,
             7,
             r.components.labels(),
             r.components.num_components(),

@@ -14,7 +14,10 @@
 //! --sizes) the component size histogram. With --json, prints a single
 //! machine-readable result record on stdout instead (the `exp_*` binaries
 //! and external scripts consume this rather than scraping the human
-//! output).
+//! output); threaded runs include a `pool` object with the persistent
+//! worker pool's telemetry (dispatches, spawned threads, stolen chunks,
+//! park/unpark counts). `--threads 0` means one worker per available CPU;
+//! without the flag, `WCC_THREADS` decides (same 0-means-auto convention).
 //!
 //! `wcc stream` replays a batch schedule in the binary chunk format (magic
 //! `WCCS`, see `wcc_graph::io`) through the incremental engine: chunks are
@@ -40,7 +43,7 @@ use wcc_baselines::run_baseline;
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{Executor, MpcConfig, MpcContext, PhaseStats, RoundStats, TupleWidth};
+use wcc_mpc::{Executor, MpcConfig, MpcContext, PhaseStats, PoolTelemetry, RoundStats, TupleWidth};
 
 #[derive(PartialEq)]
 enum Mode {
@@ -63,7 +66,9 @@ struct Options {
     lambda: f64,
     memory: usize,
     seed: u64,
-    /// Execution-backend worker threads (0 = resolve from WCC_THREADS).
+    /// Execution-backend worker threads. An absent `--threads` flag leaves
+    /// this 0 = resolve from WCC_THREADS; an explicit `--threads 0` is
+    /// rewritten to one worker per available CPU at parse time.
     threads: usize,
     /// `stream` only: disable the union-find fast path (every batch then
     /// recomputes, which is the slow baseline the fast path is benched
@@ -112,6 +117,18 @@ struct JsonReport {
     batches: Option<Vec<JsonBatch>>,
     /// Component size histogram (descending); `null` unless `--sizes`.
     component_sizes: Option<Vec<usize>>,
+    /// Worker-pool telemetry for the whole process (cumulative dispatch,
+    /// spawn, steal and park counters — see `wcc_mpc::PoolTelemetry`);
+    /// `null` when the run never engaged the threaded backend.
+    pool: Option<PoolTelemetry>,
+}
+
+/// The process-wide pool counters, or `None` if no threaded dispatch ever
+/// happened (sequential runs report no pool at all rather than a row of
+/// zeros).
+fn pool_report() -> Option<PoolTelemetry> {
+    let t = Executor::process_pool_telemetry();
+    (t.dispatches > 0 || t.spawned_threads > 0).then_some(t)
 }
 
 /// One `wcc stream` batch in the `--json` record: the same quantities the
@@ -227,11 +244,15 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--threads" => {
-                opts.threads = args
+                let t: usize = args
                     .next()
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+                // An explicit 0 means "one worker per available CPU" (same
+                // convention as WCC_THREADS=0); only an *absent* flag defers
+                // to the environment variable.
+                opts.threads = if t == 0 { Executor::auto_threads() } else { t };
             }
             "--sizes" => opts.show_sizes = true,
             "--json" => opts.json = true,
@@ -303,7 +324,12 @@ fn usage() {
          \x20          [--threads <n>] [--sizes] [--json]\n\
          \x20      wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]\n\
          \x20          [--no-fast-path] [--sizes] [--json]\n\
-         \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]"
+         \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]\n\
+         \x20\n\
+         \x20      --threads <n>: worker threads for the persistent-pool backend\n\
+         \x20          (1 = sequential, 0 = one worker per available CPU; without\n\
+         \x20          the flag, the WCC_THREADS environment variable decides,\n\
+         \x20          where 0 likewise means one worker per CPU)"
     );
 }
 
@@ -432,6 +458,7 @@ fn run_stream(opts: &Options) -> ExitCode {
             phases: Some(stats.phases().to_vec()),
             batches: Some(reports.iter().map(JsonBatch::from).collect()),
             component_sizes: sizes,
+            pool: pool_report(),
         });
     }
 
@@ -582,6 +609,7 @@ fn main() -> ExitCode {
             phases: stats.as_ref().map(|s| s.phases().to_vec()),
             batches: None,
             component_sizes: sizes,
+            pool: pool_report(),
         });
     }
 

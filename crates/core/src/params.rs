@@ -73,9 +73,11 @@ pub struct Params {
     pub max_walk_length: usize,
     /// Worker threads of the execution backend (forwarded to
     /// [`MpcConfig::threads`](wcc_mpc::MpcConfig::threads) when the pipeline
-    /// sizes its own cluster): `1` = sequential, `0` = resolve from the
-    /// `WCC_THREADS` environment variable. Results are bit-identical for
-    /// every value — see DESIGN.md, "The executor seam".
+    /// sizes its own cluster): `1` = sequential, `n > 1` = the persistent
+    /// worker pool, `0` = resolve from the `WCC_THREADS` environment
+    /// variable (whose own `0` means one worker per available CPU). Results
+    /// are bit-identical for every value — see DESIGN.md, "The executor
+    /// seam" and "The persistent pool".
     pub threads: usize,
 }
 
@@ -140,7 +142,8 @@ impl Params {
     }
 
     /// Returns a copy using the given number of worker threads (`1` =
-    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    /// sequential backend, `0` = resolve from `WCC_THREADS`, whose own `0`
+    /// means one worker per available CPU).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self

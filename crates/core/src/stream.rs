@@ -110,7 +110,8 @@ impl StreamParams {
     }
 
     /// Returns a copy using the given number of worker threads (`1` =
-    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    /// sequential backend, `0` = resolve from `WCC_THREADS`, whose own `0`
+    /// means one worker per available CPU).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pipeline.threads = threads;
         self

@@ -183,7 +183,7 @@ impl<T> Cluster<T> {
 
     /// The execution backend this cluster's supersteps run on.
     pub fn executor(&self) -> Executor {
-        self.executor
+        self.executor.clone()
     }
 
     /// Words each tuple is charged for in memory accounting.
@@ -249,7 +249,7 @@ impl<T> Cluster<T> {
                 .map_indexed(self.arena.len(), |i| f(&self.arena[i])),
             offsets: self.offsets.clone(),
             words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+            executor: self.executor.clone(),
         }
     }
 
@@ -267,7 +267,7 @@ impl<T> Cluster<T> {
             arena: arena::map_owned(&self.executor, self.arena, &f),
             offsets: self.offsets,
             words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+            executor: self.executor.clone(),
         }
     }
 
@@ -313,7 +313,7 @@ impl<T> Cluster<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Sync,
     {
-        let executor = self.executor;
+        let executor = self.executor.clone();
         let words_per_tuple = self.words_per_tuple;
         let machine_sizes: Vec<usize> = self.offsets.windows(2).map(|w| w[1] - w[0]).collect();
         let worker_machines = executor.worker_spans(self.num_machines());
@@ -394,7 +394,7 @@ impl<T> Cluster<T> {
     /// Stitches per-machine output vectors (one per machine, in machine
     /// order) into a fresh cluster sharing this one's accounting and backend.
     fn rebuild_from_machine_parts<U>(&self, parts: Vec<Vec<U>>) -> Cluster<U> {
-        from_machine_parts(parts, self.words_per_tuple, self.executor)
+        from_machine_parts(parts, self.words_per_tuple, self.executor.clone())
     }
 
     /// The counting pass of the two-pass counting shuffle: computes each
@@ -568,7 +568,7 @@ impl<T> Cluster<T> {
             arena,
             offsets: plan.dest_offsets,
             words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+            executor: self.executor.clone(),
         };
         check.map(|()| result)
     }
@@ -614,7 +614,7 @@ impl<T> Cluster<T> {
             arena,
             offsets: plan.dest_offsets,
             words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+            executor: self.executor.clone(),
         };
         check.map(|()| result)
     }
@@ -727,7 +727,7 @@ impl<T> Cluster<T> {
             arena,
             offsets: plan.dest_offsets,
             words_per_tuple: self.words_per_tuple,
-            executor: self.executor,
+            executor: self.executor.clone(),
         };
         check.map(|()| result)
     }
@@ -771,7 +771,7 @@ impl<T> Cluster<T> {
         I: Fn(u64) -> A + Sync,
         FO: Fn(&mut A, &T) + Sync,
     {
-        let executor = self.executor;
+        let executor = self.executor.clone();
         let worker_machines = executor.worker_spans(self.num_machines());
         let mut scratch = ctx.take_scratch();
         let combined: Vec<Vec<(u64, A)>> = {
@@ -828,7 +828,7 @@ impl<T> Cluster<T> {
         I: Fn(u64) -> A + Sync,
         FO: Fn(&mut A, T) + Sync,
     {
-        let executor = self.executor;
+        let executor = self.executor.clone();
         let machine_sizes: Vec<usize> = self.offsets.windows(2).map(|w| w[1] - w[0]).collect();
         let worker_machines = executor.worker_spans(self.num_machines());
         let spans: Vec<Range<usize>> = worker_machines

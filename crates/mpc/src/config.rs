@@ -64,11 +64,13 @@ pub struct MpcConfig {
     pub strict_memory: bool,
     /// Worker threads of the execution backend driving per-machine /
     /// per-chunk work: `1` selects the sequential backend, `n > 1` the
-    /// threaded backend, and `0` means "resolve from the `WCC_THREADS`
-    /// environment variable, defaulting to sequential"
-    /// ([`Executor::resolve`](crate::Executor::resolve)). The backend choice
-    /// never changes results — see the determinism contract in
-    /// [`crate::executor`].
+    /// persistent-pool threaded backend, and `0` means "resolve from the
+    /// `WCC_THREADS` environment variable"
+    /// ([`Executor::resolve`](crate::Executor::resolve)) — where the
+    /// variable's own `0` means one worker per available CPU
+    /// ([`Executor::auto_threads`](crate::Executor::auto_threads)) and an
+    /// unset variable means sequential. The backend choice never changes
+    /// results — see the determinism contract in [`crate::executor`].
     pub threads: usize,
 }
 
@@ -121,7 +123,8 @@ impl MpcConfig {
     }
 
     /// Returns a copy using the given number of worker threads (`1` =
-    /// sequential backend, `0` = resolve from `WCC_THREADS`).
+    /// sequential backend, `0` = resolve from `WCC_THREADS`, whose own `0`
+    /// means one worker per available CPU).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self

@@ -7,15 +7,21 @@
 //! * [`ExecutorBackend::Sequential`] — runs every unit of work inline on the
 //!   calling thread, in index order (the historical behaviour of the
 //!   simulator).
-//! * [`ExecutorBackend::Threaded`] — splits the index space into contiguous
-//!   per-worker ranges and runs them on scoped OS threads
-//!   (`std::thread::scope`; no external dependencies).
+//! * [`ExecutorBackend::Threaded`] — runs work on a **persistent worker
+//!   pool** ([`pool`](crate::pool) module; no external dependencies):
+//!   workers are spawned once, lazily, on the first threaded dispatch, park
+//!   on a condvar between fan-outs, and each fan-out costs one epoch bump +
+//!   wakeup instead of N `std::thread::scope` spawns. The index space is
+//!   split into up to [`CHUNKS_PER_WORKER`]×threads contiguous chunks
+//!   claimed dynamically through an atomic cursor, so skewed per-chunk work
+//!   load-balances without affecting results.
 //!
 //! **Determinism contract.** Both backends produce *bit-identical* results
 //! for the same inputs: work units are pure functions of their index (callers
 //! derive any randomness from per-index ChaCha8 streams, never from a shared
 //! generator), and results are reassembled in index order regardless of which
-//! worker computed them. Anything order-sensitive — round charges, memory
+//! worker computed them — chunk claiming order is timing-dependent, chunk
+//! *placement* is not. Anything order-sensitive — round charges, memory
 //! accounting, error selection — happens on the calling thread after the
 //! fan-in, via [`WorkerStats`](crate::stats::WorkerStats) merges. The
 //! cross-backend determinism test in `tests/executor_determinism.rs` pins
@@ -23,17 +29,22 @@
 //!
 //! The thread count is usually carried by
 //! [`MpcConfig::threads`](crate::MpcConfig::threads); `0` means "resolve from
-//! the `WCC_THREADS` environment variable, defaulting to 1", which is how the
-//! experiment binaries are switched between backends without code changes.
+//! the `WCC_THREADS` environment variable". In the environment variable
+//! itself, `0` means "use [`Executor::auto_threads`]", i.e. one worker per
+//! available CPU (`std::thread::available_parallelism`); an unset, empty or
+//! unparseable variable still means sequential.
 
 use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::pool::{self, PoolProbe, PoolTelemetry, WorkerPool, CHUNKS_PER_WORKER};
 
 /// Which execution backend an [`Executor`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorBackend {
     /// Run all work inline on the calling thread.
     Sequential,
-    /// Run work on up to `threads` scoped OS threads.
+    /// Run work on a persistent pool of `threads` parked workers.
     Threaded {
         /// Maximum number of worker threads (clamped to at least 1).
         threads: usize,
@@ -41,27 +52,71 @@ pub enum ExecutorBackend {
 }
 
 /// Environment variable consulted when a thread count of `0` ("auto") is
-/// resolved: `WCC_THREADS=4` selects the threaded backend with 4 workers.
+/// resolved: `WCC_THREADS=4` selects the threaded backend with 4 workers,
+/// `WCC_THREADS=0` selects one worker per available CPU.
 pub const THREADS_ENV_VAR: &str = "WCC_THREADS";
 
-/// A handle to an execution backend. Cheap to copy; carries only the worker
-/// count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A handle to an execution backend. Cheap to clone; clones share the same
+/// lazily-created worker pool, and executors resolved independently with the
+/// same thread count share one process-wide pool per count (so an
+/// `MpcContext` and the `Cluster`s it drives never spawn duplicate worker
+/// sets). Dropping the last executor that owns a pool shuts its workers down
+/// and joins them.
+#[derive(Clone)]
 pub struct Executor {
     threads: usize,
+    /// The pool cell. Empty until the first threaded dispatch; never filled
+    /// for sequential executors (`threads == 1` dispatches inline).
+    pool: Arc<OnceLock<Arc<WorkerPool>>>,
 }
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("pool_started", &self.pool.get().is_some())
+            .finish()
+    }
+}
+
+/// Executors compare by configuration (thread count) only — two executors
+/// with the same count are interchangeable by the determinism contract,
+/// whether or not they happen to share a pool instance.
+impl PartialEq for Executor {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for Executor {}
 
 impl Executor {
     /// The sequential backend.
     pub fn sequential() -> Self {
-        Executor { threads: 1 }
+        Executor::threaded(1)
     }
 
     /// The threaded backend with `threads` workers (1 degenerates to the
-    /// sequential backend; 0 is clamped to 1).
+    /// sequential backend; 0 is clamped to 1). Workers are not spawned until
+    /// the first dispatch that engages more than one chunk.
     pub fn threaded(threads: usize) -> Self {
         Executor {
             threads: threads.max(1),
+            pool: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Like [`Executor::threaded`], but with a pool that is **not** shared
+    /// with other executors of the same thread count. Lifecycle tests use
+    /// this to observe one pool's spawn/park/shutdown behaviour in
+    /// isolation; production callers want the sharing default.
+    pub fn with_private_pool(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let cell = OnceLock::new();
+        let _ = cell.set(Arc::new(WorkerPool::new(threads)));
+        Executor {
+            threads,
+            pool: Arc::new(cell),
         }
     }
 
@@ -74,7 +129,8 @@ impl Executor {
     }
 
     /// Resolves a config-level thread count: `0` means "read
-    /// [`THREADS_ENV_VAR`], defaulting to 1"; any other value is used as-is.
+    /// [`THREADS_ENV_VAR`]" (see [`Executor::from_env`]); any other value is
+    /// used as-is.
     pub fn resolve(threads: usize) -> Self {
         if threads > 0 {
             return Executor::threaded(threads);
@@ -82,14 +138,28 @@ impl Executor {
         Executor::from_env()
     }
 
-    /// Reads the backend from [`THREADS_ENV_VAR`] (unset, empty or
-    /// unparseable means sequential).
+    /// One worker per CPU the process can use
+    /// (`std::thread::available_parallelism`), defaulting to 1 if the
+    /// parallelism cannot be queried.
+    pub fn auto_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Reads the backend from [`THREADS_ENV_VAR`]: a positive value selects
+    /// that many workers, `0` selects [`Executor::auto_threads`] workers
+    /// (one per available CPU), and an unset, empty or unparseable variable
+    /// means sequential.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV_VAR)
+        match std::env::var(THREADS_ENV_VAR)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(1);
-        Executor::threaded(threads)
+        {
+            Some(0) => Executor::threaded(Self::auto_threads()),
+            Some(n) => Executor::threaded(n),
+            None => Executor::sequential(),
+        }
     }
 
     /// Number of worker threads this executor uses (1 = sequential).
@@ -117,30 +187,60 @@ impl Executor {
         }
     }
 
-    /// Minimum indices a worker must receive before [`Executor::map_indexed`]
-    /// spawns threads: fine-grained fan-outs smaller than this run inline,
-    /// because OS-thread spawn latency would dominate the per-index work.
-    /// (Purely a performance cutoff — results are identical either way.)
+    /// The pool, created (or fetched from the per-count process registry) on
+    /// first use.
+    fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_init(|| pool::obtain_shared(self.threads))
+    }
+
+    /// Telemetry snapshot of this executor's pool, or `None` if no threaded
+    /// dispatch has created one yet (sequential executors never do).
+    pub fn pool_telemetry(&self) -> Option<PoolTelemetry> {
+        self.pool.get().map(|p| p.counters().snapshot())
+    }
+
+    /// Process-wide pool telemetry: cumulative counters across every pool
+    /// that ever existed in this process. This is what `wcc --json` reports,
+    /// so a run's dispatch behaviour is visible without threading a pool
+    /// handle through the algorithm layers.
+    pub fn process_pool_telemetry() -> PoolTelemetry {
+        pool::global_snapshot()
+    }
+
+    /// A live handle onto this executor's pool counters that does **not**
+    /// keep the pool alive — lifecycle tests use it to watch `live_workers`
+    /// fall to zero after the executor is dropped. Forces pool creation.
+    pub fn pool_telemetry_probe(&self) -> PoolProbe {
+        PoolProbe(self.pool().counters())
+    }
+
+    /// Minimum indices a chunk must receive before [`Executor::map_indexed`]
+    /// fans out: fine-grained fan-outs smaller than this run inline, because
+    /// dispatch latency would dominate the per-index work. (Purely a
+    /// performance cutoff — results are identical either way.)
     pub const MIN_INDICES_PER_WORKER: usize = 64;
 
-    /// Contiguous per-worker ranges covering `0..n` in order, engaging at
-    /// most `n / min_per_worker` workers. The split depends only on `n`, the
-    /// worker count and the floor — never on runtime timing.
+    /// Contiguous chunk ranges covering `0..n` in order: up to
+    /// [`CHUNKS_PER_WORKER`]×threads chunks (so fast workers can claim
+    /// extra chunks when per-chunk work is skewed), engaging at most
+    /// `n / min_per_worker` chunks. The split depends only on `n`, the
+    /// thread count and the floor — never on runtime timing.
     fn worker_ranges(&self, n: usize, min_per_worker: usize) -> Vec<Range<usize>> {
-        let workers = self.threads.min(n / min_per_worker.max(1)).min(n).max(1);
-        let chunk = n.div_ceil(workers).max(1);
-        (0..workers)
-            .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
-            .filter(|r| !r.is_empty())
-            .collect()
+        let target = if self.threads > 1 {
+            self.threads.saturating_mul(CHUNKS_PER_WORKER)
+        } else {
+            1
+        };
+        let chunks = target.min(n / min_per_worker.max(1)).min(n).max(1);
+        pool::split_ranges(n, chunks)
     }
 
     /// The deterministic *coarse* work split over `0..n`: the contiguous
-    /// per-worker ranges [`Executor::map_ranges`] would hand its workers
-    /// (units are whole simulated machines, so any `n > 1` splits). Exposed
-    /// so callers can precompute per-worker state — histogram cursors,
-    /// per-worker accumulators — that must line up range-for-range with a
-    /// later fan-out over the same split.
+    /// chunk ranges [`Executor::map_ranges`] would hand its workers (units
+    /// are whole simulated machines, so any `n > 1` splits). Exposed so
+    /// callers can precompute per-chunk state — histogram cursors, per-chunk
+    /// accumulators — that must line up range-for-range with a later fan-out
+    /// over the same split.
     pub fn worker_spans(&self, n: usize) -> Vec<Range<usize>> {
         self.worker_ranges(n, 1)
     }
@@ -148,44 +248,39 @@ impl Executor {
     /// The deterministic *fine* work split over `0..n`: like
     /// [`Executor::worker_spans`] but treating indices as fine-grained items
     /// (a tuple, a vertex), so fan-outs smaller than
-    /// [`Executor::MIN_INDICES_PER_WORKER`] per worker collapse to fewer
+    /// [`Executor::MIN_INDICES_PER_WORKER`] per chunk collapse to fewer
     /// ranges, exactly as [`Executor::map_indexed`] would.
     pub fn element_spans(&self, n: usize) -> Vec<Range<usize>> {
         self.worker_ranges(n, Self::MIN_INDICES_PER_WORKER)
     }
 
+    /// The core dispatch: runs `g` once per index in `0..n` and returns the
+    /// results in index order — inline for the sequential backend, via the
+    /// pool's chunk-claiming epoch otherwise. A dispatch attempted from
+    /// inside a pool epoch (a nested fan-out) runs inline too, which keeps
+    /// nesting correct without epoch re-entrancy.
+    fn run_chunked<U, G>(&self, n: usize, g: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(usize) -> U + Sync,
+    {
+        if self.threads <= 1 || n <= 1 || pool::in_pool_context() {
+            return (0..n).map(g).collect();
+        }
+        self.pool().run_chunks(n, g)
+    }
+
     /// Runs `f` once per *given* contiguous range, in parallel, returning the
     /// results in range order. The ranges must be exactly the caller's
     /// precomputed [`Executor::worker_spans`] / [`Executor::element_spans`]
-    /// split (ascending, disjoint); each worker also receives its range
+    /// split (ascending, disjoint); each chunk also receives its range
     /// index.
     pub(crate) fn run_spans<U, F>(&self, spans: &[Range<usize>], f: F) -> Vec<U>
     where
         U: Send,
         F: Fn(usize, Range<usize>) -> U + Sync,
     {
-        if self.threads <= 1 || spans.len() <= 1 {
-            return spans
-                .iter()
-                .enumerate()
-                .map(|(i, r)| f(i, r.clone()))
-                .collect();
-        }
-        let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = spans
-                .iter()
-                .enumerate()
-                .map(|(i, range)| {
-                    let range = range.clone();
-                    scope.spawn(move || f(i, range))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
-                .collect()
-        })
+        self.run_chunked(spans.len(), |i| f(i, spans[i].clone()))
     }
 
     /// Splits `data` into the given contiguous ranges (which must tile
@@ -217,11 +312,11 @@ impl Executor {
     }
 
     /// Like [`Executor::map_slices_mut`], but carving **two** buffers at
-    /// once: worker `i` receives `a[a_ranges[i]]` and `b[b_ranges[i]]` as
+    /// once: chunk `i` receives `a[a_ranges[i]]` and `b[b_ranges[i]]` as
     /// disjoint mutable chunks. Both range lists must tile their buffers
-    /// exactly and have the same length (one pair per worker). This is the
+    /// exactly and have the same length (one pair per chunk). This is the
     /// primitive behind the counting shuffle's single-sweep pass that fills
-    /// the destination table and the per-worker histograms together without
+    /// the destination table and the per-chunk histograms together without
     /// allocating either.
     ///
     /// # Panics
@@ -256,7 +351,7 @@ impl Executor {
             }
             assert_eq!(expected, len, "ranges must cover the data exactly");
         }
-        if self.threads <= 1 || a_ranges.len() <= 1 {
+        if self.threads <= 1 || a_ranges.len() <= 1 || pool::in_pool_context() {
             let mut out = Vec::with_capacity(a_ranges.len());
             let (mut rest_a, mut rest_b) = (a, b);
             for (i, (ra, rb)) in a_ranges.iter().zip(b_ranges).enumerate() {
@@ -268,21 +363,26 @@ impl Executor {
             }
             return out;
         }
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(a_ranges.len());
-            let (mut rest_a, mut rest_b) = (a, b);
-            for (i, (ra, rb)) in a_ranges.iter().zip(b_ranges).enumerate() {
-                let (head_a, tail_a) = rest_a.split_at_mut(ra.len());
-                let (head_b, tail_b) = rest_b.split_at_mut(rb.len());
-                rest_a = tail_a;
-                rest_b = tail_b;
-                handles.push(scope.spawn(move || f(i, head_a, head_b)));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
-                .collect()
+        // Carve every disjoint chunk pair up front (cheap: pointer
+        // arithmetic), park each in a take-once slot, and let the pool's
+        // chunk claiming hand pair `i` to whichever worker claims index `i`.
+        type ChunkPair<'s, T1, T2> = Mutex<Option<(&'s mut [T1], &'s mut [T2])>>;
+        let mut slots: Vec<ChunkPair<'_, T1, T2>> = Vec::with_capacity(a_ranges.len());
+        let (mut rest_a, mut rest_b) = (a, b);
+        for (ra, rb) in a_ranges.iter().zip(b_ranges) {
+            let (head_a, tail_a) = rest_a.split_at_mut(ra.len());
+            let (head_b, tail_b) = rest_b.split_at_mut(rb.len());
+            rest_a = tail_a;
+            rest_b = tail_b;
+            slots.push(Mutex::new(Some((head_a, head_b))));
+        }
+        self.pool().run_chunks(a_ranges.len(), |i| {
+            let (chunk_a, chunk_b) = slots[i]
+                .lock()
+                .expect("slice slot poisoned")
+                .take()
+                .expect("each chunk pair is claimed exactly once");
+            f(i, chunk_a, chunk_b)
         })
     }
 
@@ -314,7 +414,7 @@ impl Executor {
     ///
     /// Indices are treated as fine-grained (a vertex, a query, an edge):
     /// fan-outs with fewer than [`Executor::MIN_INDICES_PER_WORKER`] indices
-    /// per worker run inline rather than paying thread-spawn latency.
+    /// per chunk run inline rather than paying dispatch latency.
     pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
     where
         U: Send,
@@ -344,8 +444,8 @@ impl Executor {
         self.map_indexed(items.len(), |i| f(i, &items[i]))
     }
 
-    /// Splits `0..n` into contiguous per-worker ranges, runs `f` once per
-    /// range, and returns the per-range results in range order. This is the
+    /// Splits `0..n` into contiguous chunk ranges, runs `f` once per range,
+    /// and returns the per-range results in range order. This is the
     /// primitive behind per-worker accumulators
     /// ([`WorkerStats`](crate::stats::WorkerStats), shuffle buckets): the
     /// caller merges the returned values in order, which is deterministic as
@@ -367,14 +467,85 @@ impl Executor {
         self.run_ranges(n, 1, |range| f(range.start..range.end))
     }
 
-    /// Shared scoped-thread driver: one spawned worker per non-empty range,
-    /// results joined in range order.
+    /// Shared chunked driver over a fresh split of `0..n`.
     fn run_ranges<U, F>(&self, n: usize, min_per_worker: usize, f: F) -> Vec<U>
     where
         U: Send,
         F: Fn(Range<usize>) -> U + Sync,
     {
         self.run_spans(&self.worker_ranges(n, min_per_worker), |_w, range| f(range))
+    }
+
+    /// The pre-pool threaded backend, kept verbatim as a **measurement
+    /// reference**: one fresh `std::thread::scope` spawn per range, joined
+    /// in range order. The `executor_dispatch_overhead` benchmark times this
+    /// against the pooled [`Executor::map_ranges`] to quantify what the pool
+    /// saves per fan-out, and the differential test in
+    /// `tests/executor_determinism.rs` pins both paths to identical output.
+    /// Not used by any production dispatch.
+    pub fn map_ranges_scoped_reference<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> U + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads <= 1 {
+            return vec![f(0..n)];
+        }
+        self.run_spans_scoped(&self.worker_ranges(n, 1), |_w, range| f(range))
+    }
+
+    /// Scoped-spawn reference for [`Executor::map_indexed`] (see
+    /// [`Executor::map_ranges_scoped_reference`]).
+    pub fn map_indexed_scoped_reference<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let spans = self.worker_ranges(n, Self::MIN_INDICES_PER_WORKER);
+        let per_worker =
+            self.run_spans_scoped(&spans, |_w, range| range.map(&f).collect::<Vec<U>>());
+        let mut out = Vec::with_capacity(n);
+        for chunk in per_worker {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// The old scoped-thread driver: one spawned OS thread per range, every
+    /// fan-out. Only the `*_scoped_reference` methods call this.
+    fn run_spans_scoped<U, F>(&self, spans: &[Range<usize>], f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, Range<usize>) -> U + Sync,
+    {
+        if spans.len() <= 1 {
+            return spans
+                .iter()
+                .enumerate()
+                .map(|(i, r)| f(i, r.clone()))
+                .collect();
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .enumerate()
+                .map(|(i, range)| {
+                    let range = range.clone();
+                    scope.spawn(move || f(i, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        })
     }
 }
 
@@ -436,6 +607,41 @@ mod tests {
     }
 
     #[test]
+    fn scoped_reference_matches_pooled_dispatch() {
+        for threads in [1, 2, 4] {
+            let exec = Executor::threaded(threads);
+            let pooled = exec.map_indexed(777, |i| i * 3 + 1);
+            let scoped = exec.map_indexed_scoped_reference(777, |i| i * 3 + 1);
+            assert_eq!(pooled, scoped, "threads={threads}");
+            let pooled: Vec<usize> = exec
+                .map_ranges(100, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            let scoped: Vec<usize> = exec
+                .map_ranges_scoped_reference(100, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(pooled, scoped, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_spans_oversplit_for_chunk_claiming() {
+        // threads=1 keeps one span; threads>1 oversplits up to 4x threads so
+        // fast workers can steal chunks; the floor caps the split.
+        assert_eq!(Executor::threaded(1).worker_spans(100).len(), 1);
+        assert_eq!(
+            Executor::threaded(4).worker_spans(160).len(),
+            4 * CHUNKS_PER_WORKER
+        );
+        assert_eq!(Executor::threaded(4).worker_spans(3).len(), 3);
+        assert_eq!(Executor::threaded(4).element_spans(100).len(), 1);
+        assert_eq!(Executor::threaded(4).element_spans(64 * 9).len(), 9);
+    }
+
+    #[test]
     fn map_slices_mut_pair_carves_both_buffers_disjointly() {
         for threads in [1usize, 4] {
             let exec = Executor::threaded(threads);
@@ -487,6 +693,7 @@ mod tests {
         assert_eq!(Executor::resolve(1).threads(), 1);
         assert_eq!(Executor::resolve(6).threads(), 6);
         assert!(Executor::resolve(0).threads() >= 1);
+        assert!(Executor::auto_threads() >= 1);
     }
 
     #[test]

@@ -41,11 +41,13 @@
 //! assert!(ctx.stats().total_rounds() >= 1);
 //! ```
 
-// Unsafe is denied crate-wide; the single exception is the `arena` module,
+// Unsafe is denied crate-wide; the two exceptions are the `arena` module,
 // whose move/scatter primitives (the parallel scatter of the counting
 // shuffle, the consuming local ops) need raw-pointer writes into disjoint
-// positions of a preallocated buffer. Every unsafe block there carries its
-// disjointness argument.
+// positions of a preallocated buffer, and the `pool` module, whose persistent
+// worker pool hands a borrowed job closure to parked threads through a raw
+// pointer whose lifetime is bounded by the dispatch protocol. Every unsafe
+// block in both carries its soundness argument.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -55,6 +57,8 @@ pub mod cluster;
 pub mod compact;
 pub mod config;
 pub mod executor;
+#[allow(unsafe_code)]
+pub mod pool;
 pub mod primitives;
 mod radix;
 pub mod stats;
@@ -66,6 +70,7 @@ pub use crate::compact::{
 };
 pub use crate::config::{MpcConfig, MpcError};
 pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend, THREADS_ENV_VAR};
+pub use crate::pool::{PoolProbe, PoolTelemetry, CHUNKS_PER_WORKER};
 pub use crate::radix::radix_sort_u64;
 pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
 

@@ -229,7 +229,7 @@ impl MpcContext {
     /// The execution backend algorithms should fan per-machine / per-chunk
     /// work out through.
     pub fn executor(&self) -> Executor {
-        self.executor
+        self.executor.clone()
     }
 
     /// Statistics accumulated so far.

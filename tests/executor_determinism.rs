@@ -278,6 +278,45 @@ fn fused_supersteps_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// The persistent pool vs. the retired scoped-spawn backend: the pool
+/// dispatch (chunk claiming, dynamic stealing) must reproduce the old
+/// one-thread-per-range backend bit for bit on the same split. The scoped
+/// path survives as `*_scoped_reference` methods precisely so this
+/// differential can keep running; the end-to-end cross-check against the
+/// pre-pool build is `golden_dump` (label hashes pinned in golden_labels.txt
+/// predate the pool and must not move).
+#[test]
+fn pooled_dispatch_matches_scoped_reference_backend() {
+    use rand::Rng;
+    use wcc_mpc::Executor;
+
+    for seed in SEEDS {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data: Vec<u64> = (0..5000).map(|_| rng.gen()).collect();
+        for threads in [2usize, 3, 8] {
+            let exec = Executor::threaded(threads);
+            // Per-index work with index-derived randomness, as every
+            // pipeline fan-out does it.
+            let f = |i: usize| {
+                let s = wcc_mpc::derive_stream_seed(data[i % data.len()], i as u64);
+                s.rotate_left((i % 64) as u32) ^ data[i % data.len()]
+            };
+            assert_eq!(
+                exec.map_indexed(5000, f),
+                exec.map_indexed_scoped_reference(5000, f),
+                "map_indexed diverged (seed {seed}, threads {threads})"
+            );
+            // Per-range accumulators, as the stats/shuffle fan-outs do it.
+            let g = |r: std::ops::Range<usize>| r.map(f).fold(0u64, u64::wrapping_add);
+            assert_eq!(
+                exec.map_ranges(5000, g),
+                exec.map_ranges_scoped_reference(5000, g),
+                "map_ranges diverged (seed {seed}, threads {threads})"
+            );
+        }
+    }
+}
+
 /// The flat-arena counting shuffle must be bit-identical across thread
 /// counts *and* must reproduce the reference semantics exactly: within each
 /// destination machine, tuples appear in global source order (machine-major

@@ -1,0 +1,112 @@
+//! Lifecycle of the persistent worker pool behind the threaded executor:
+//! workers spawn once, survive panicking closures, and are joined when the
+//! last owning executor is dropped.
+//!
+//! Every test here builds its executor with [`Executor::with_private_pool`]
+//! so it observes one pool exclusively — the production constructors share
+//! pools process-wide by thread count, which would let concurrently running
+//! tests pollute each other's counters.
+
+use wcc_mpc::Executor;
+
+/// One fan-out after another must reuse the same parked workers: after 10^4
+/// dispatches, the pool has still only ever spawned `threads` OS threads.
+/// (This is the whole point of the pool — the scoped backend it replaced
+/// spawned `threads` fresh threads per fan-out, i.e. 4*10^4 here.)
+#[test]
+fn ten_thousand_fanouts_spawn_threads_once() {
+    let threads = 4;
+    let exec = Executor::with_private_pool(threads);
+    let mut acc = 0u64;
+    for round in 0..10_000u64 {
+        let parts = exec.map_ranges(256, |r| r.map(|i| i as u64 + round).sum::<u64>());
+        acc = acc.wrapping_add(parts.into_iter().sum::<u64>());
+    }
+    let telemetry = exec.pool_telemetry().expect("pool was used");
+    assert_eq!(
+        telemetry.spawned_threads, threads as u64,
+        "fan-outs must reuse the persistent workers, not spawn new ones"
+    );
+    assert_eq!(telemetry.live_workers, threads as u64);
+    assert_eq!(telemetry.dispatches, 10_000);
+    // 256 coarse units split into 4 chunks/worker * 4 workers per dispatch.
+    assert_eq!(telemetry.chunks_dispatched, 10_000 * 16);
+    assert_ne!(acc, 0);
+}
+
+/// A panicking closure must propagate to the dispatching thread — no
+/// deadlock, no abort — and the pool must remain fully usable afterwards.
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let exec = Executor::with_private_pool(3);
+    // Warm the pool up first so the panic exercises parked workers, not the
+    // spawn path.
+    let warm = exec.map_indexed(1000, |i| i * 2);
+    assert_eq!(warm[999], 1998);
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.map_indexed(1000, |i| {
+            assert!(i != 700, "injected failure at index 700");
+            i
+        })
+    }));
+    let err = result.expect_err("the panic must reach the dispatcher");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected failure"),
+        "the original panic payload must survive: got {msg:?}"
+    );
+
+    // The pool is not poisoned: same executor, fresh dispatches, correct
+    // results, and no replacement threads were spawned.
+    for _ in 0..50 {
+        let again = exec.map_indexed(1000, |i| i + 1);
+        assert_eq!(again[0], 1);
+        assert_eq!(again[999], 1000);
+    }
+    let telemetry = exec.pool_telemetry().expect("pool was used");
+    assert_eq!(telemetry.spawned_threads, 3);
+    assert_eq!(telemetry.live_workers, 3);
+}
+
+/// Dropping the last executor that owns a pool joins all its workers: the
+/// probe (which deliberately does not keep the pool alive) sees
+/// `live_workers` fall to zero, synchronously, because the pool's drop joins
+/// the OS threads before returning.
+#[test]
+fn dropping_the_executor_joins_all_workers() {
+    let exec = Executor::with_private_pool(5);
+    let probe = exec.pool_telemetry_probe();
+    let out = exec.map_ranges(64, |r| r.len());
+    assert_eq!(out.iter().sum::<usize>(), 64);
+    assert_eq!(probe.snapshot().live_workers, 5);
+
+    // Clones share the pool; dropping one of two must NOT tear it down.
+    let clone = exec.clone();
+    drop(exec);
+    assert_eq!(probe.snapshot().live_workers, 5);
+    assert_eq!(clone.map_indexed(128, |i| i).len(), 128);
+
+    drop(clone);
+    assert_eq!(
+        probe.snapshot().live_workers,
+        0,
+        "drop must join every worker, not leak parked threads"
+    );
+    let final_telemetry = probe.snapshot();
+    assert_eq!(final_telemetry.spawned_threads, 5);
+}
+
+/// A sequential executor never creates a pool at all, no matter how much
+/// work flows through it.
+#[test]
+fn sequential_executor_never_spawns() {
+    let exec = Executor::sequential();
+    let out = exec.map_indexed(10_000, |i| i);
+    assert_eq!(out.len(), 10_000);
+    assert!(exec.pool_telemetry().is_none(), "no pool for threads=1");
+}
