@@ -46,7 +46,7 @@ fn bench_pipeline_backends(c: &mut Criterion) {
 fn bench_walk_fanout_backends(c: &mut Criterion) {
     // The isolated hot path: Step 2's independent lazy walks on a regular
     // graph, which is where nearly all pipeline wall-clock goes.
-    use wcc_core::walks::{independent_lazy_walks, WalkMode};
+    use wcc_core::walks::{independent_lazy_walks, WalkKernel, WalkMode};
     use wcc_mpc::{MpcConfig, MpcContext};
 
     let mut group = c.benchmark_group("executor_walk_fanout");
@@ -67,8 +67,17 @@ fn bench_walk_fanout_backends(c: &mut Criterion) {
                         .with_threads(threads);
                     let mut ctx = MpcContext::new(config);
                     let mut rng = ChaCha8Rng::seed_from_u64(3);
-                    independent_lazy_walks(g, 64, 4, WalkMode::Direct, 2, &mut ctx, &mut rng)
-                        .unwrap()
+                    independent_lazy_walks(
+                        g,
+                        64,
+                        4,
+                        WalkMode::Direct,
+                        WalkKernel::V3,
+                        2,
+                        &mut ctx,
+                        &mut rng,
+                    )
+                    .unwrap()
                 })
             },
         );

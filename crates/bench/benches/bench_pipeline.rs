@@ -8,6 +8,9 @@
 //!   planted-expander graph at 1 and 4 worker threads (the whole
 //!   zero-materialisation walk engine end to end; one sample per config,
 //!   each run takes tens of seconds);
+//! * **walk_kernel** — the isolated Step-2 fan-out under the retained spec
+//!   kernel vs the v3 stay-run-compression kernel at two walk lengths, with
+//!   an endpoint-distribution sanity assert before any timing;
 //! * **reduce_by_key_radix_vs_hashmap** — the sort-based aggregation
 //!   (`reduce_by_key`) against the retained hash-based reference
 //!   (`reduce_by_key_hashmap`) at 10⁵–10⁶ tuples. Outputs are asserted
@@ -207,6 +210,87 @@ fn bench_reduce_radix_vs_hashmap(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two walk kernels head to head on the isolated Step-2 fan-out (the
+/// `walk_kernel` group recorded in `BENCH_pipeline.json`): the retained
+/// step-by-step spec kernel vs the v3 stay-run-compression kernel, at a
+/// short and a long walk length. Before any timing, both kernels' endpoint
+/// distributions are sanity-checked against each other on the same graph
+/// (coarse per-vertex frequency comparison — the rigorous χ² suite lives in
+/// `tests/walk_kernel_equivalence.rs`).
+fn bench_walk_kernel(c: &mut Criterion) {
+    use wcc_core::walks::{independent_lazy_walks, WalkKernel, WalkMode};
+
+    let mut group = c.benchmark_group("walk_kernel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let n = 8192;
+    let k = 4;
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let g = generators::random_regular_permutation_graph(n, 8, &mut rng);
+
+    // Endpoint-distribution sanity assert: with enough draws per vertex the
+    // two kernels' aggregate endpoint frequencies must agree closely (they
+    // sample the identical lazy-walk distribution from different keystream
+    // encodings). Total-variation distance over a long-mixed small graph.
+    {
+        let small = generators::random_regular_permutation_graph(256, 8, &mut rng);
+        let mut freq = [vec![0u64; 256], vec![0u64; 256]];
+        for (slot, kernel) in [WalkKernel::Spec, WalkKernel::V3].into_iter().enumerate() {
+            let mut ctx =
+                MpcContext::new(MpcConfig::for_input_size(4 * small.num_edges(), 0.5).permissive());
+            let mut rng = ChaCha8Rng::seed_from_u64(23 + slot as u64);
+            let flat = independent_lazy_walks(
+                &small,
+                64,
+                32,
+                WalkMode::Direct,
+                kernel,
+                2,
+                &mut ctx,
+                &mut rng,
+            )
+            .unwrap();
+            for &end in &flat {
+                freq[slot][end] += 1;
+            }
+        }
+        let total: u64 = freq[0].iter().sum();
+        let tvd: f64 = freq[0]
+            .iter()
+            .zip(&freq[1])
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / (2.0 * total as f64);
+        // Two independent 8192-draw multinomials over 256 categories sit at
+        // TVD ≈ √(K/(πN)) ≈ 0.10 under the null, so gate at 2.5× that —
+        // loose against sampling noise, far below the O(0.5) separation a
+        // biased kernel produces (the real equivalence test is the χ² suite
+        // in tests/walk_kernel_equivalence.rs).
+        assert!(
+            tvd < 0.25,
+            "kernel endpoint distributions diverged before timing: tvd = {tvd}"
+        );
+    }
+
+    for &t in &[64usize, 256] {
+        for (name, kernel) in [("spec", WalkKernel::Spec), ("v3", WalkKernel::V3)] {
+            group.bench_with_input(BenchmarkId::new(name, format!("t{t}")), &g, |b, g| {
+                b.iter(|| {
+                    let mut ctx = MpcContext::new(
+                        MpcConfig::for_input_size(4 * g.num_edges(), 0.5).permissive(),
+                    );
+                    let mut rng = ChaCha8Rng::seed_from_u64(29);
+                    independent_lazy_walks(g, t, k, WalkMode::Direct, kernel, 2, &mut ctx, &mut rng)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Streaming ingestion: the union-find fast path against per-batch full
 /// recompute on a merge-free batch schedule (the `stream_ingest` group
 /// recorded in `BENCH_pipeline.json`).
@@ -301,6 +385,7 @@ criterion_group!(
     bench_pipeline_vs_baselines,
     bench_growth_stage,
     bench_adaptive_pipeline_large,
+    bench_walk_kernel,
     bench_reduce_radix_vs_hashmap,
     bench_stream_ingest
 );

@@ -4,6 +4,7 @@
 //! ```text
 //! USAGE:
 //!   bench_diff <baseline.json> <candidate.json> [--fail-below <ratio>]
+//!   bench_diff --speedup-from-log <log> <old-row> <new-row> [--fail-below <ratio>]
 //! ```
 //!
 //! Both files must follow the workspace's snapshot layout: a top-level
@@ -21,6 +22,14 @@
 //! given ratio (e.g. `--fail-below 0.8` tolerates up to 20% slowdown per
 //! row before failing). CI runs a self-comparison with this flag as a
 //! parser-and-gate smoke test; release comparisons run it old-vs-new.
+//!
+//! `--speedup-from-log` compares two rows of a *single* criterion-shim text
+//! log instead of two snapshots: it scans for `group: <name>` headers and
+//! `  <id>  [<min> <mean> <max>]  (<N> samples)` rows, addresses a row as
+//! `<group>/<id>` (the group is everything before the first `/`), and
+//! reports `mean(old-row) / mean(new-row)`. With `--fail-below` this gates
+//! intra-run ratios — CI uses it to assert the threaded e2e rows actually
+//! beat the sequential ones, without recording a snapshot first.
 //!
 //! The vendored `serde_json` shim is serialise-only, so this binary carries
 //! its own minimal JSON reader (objects, arrays, strings, numbers, literals
@@ -276,6 +285,49 @@ fn parse_duration_secs(text: &str) -> Option<f64> {
     Some(value * scale)
 }
 
+/// Extracts `group/id -> mean seconds` from a criterion-shim text log.
+///
+/// The shim prints `group: <name>` once per group and one row per benchmark:
+/// `  {id:<40} [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({N} samples)`.
+/// Rows appearing before any group header (bare `Criterion::bench_function`
+/// calls) are keyed by their id alone. Later duplicates win, matching how a
+/// rerun of the same group would overwrite a snapshot entry.
+fn parse_log_means(text: &str) -> BTreeMap<String, f64> {
+    let mut means = BTreeMap::new();
+    let mut group = String::new();
+    for line in text.lines() {
+        if let Some(name) = line.strip_prefix("group: ") {
+            group = name.trim().to_string();
+            continue;
+        }
+        // A measurement row: indented id, then "[min mean max]".
+        let Some(open) = line.find('[') else { continue };
+        let Some(close) = line[open..].find(']').map(|i| open + i) else {
+            continue;
+        };
+        if !line.starts_with("  ") || !line[close..].contains("samples)") {
+            continue;
+        }
+        let id = line[..open].trim();
+        if id.is_empty() {
+            continue;
+        }
+        let triple: Vec<&str> = line[open + 1..close].split_whitespace().collect();
+        let [_, mean, _] = triple.as_slice() else {
+            continue;
+        };
+        if let Some(seconds) = parse_duration_secs(mean) {
+            let key = if group.is_empty() {
+                id.to_string()
+            } else {
+                format!("{group}/{id}")
+            };
+            means.insert(key, seconds);
+        }
+    }
+    means
+}
+
 fn load_groups(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let value = parse_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -300,9 +352,25 @@ fn gate_failures(ratios: &[(String, f64)], threshold: f64) -> Vec<(String, f64)>
         .collect()
 }
 
-fn parse_cli(args: &[String]) -> Result<(String, String, Option<f64>), String> {
+/// What the command line asked for: a two-snapshot diff, or a two-row
+/// ratio inside one criterion-shim log.
+#[derive(Debug, Clone, PartialEq)]
+enum Mode {
+    Snapshots {
+        baseline: String,
+        candidate: String,
+    },
+    SpeedupFromLog {
+        log: String,
+        old_row: String,
+        new_row: String,
+    },
+}
+
+fn parse_cli(args: &[String]) -> Result<(Mode, Option<f64>), String> {
     let mut positionals: Vec<&String> = Vec::new();
     let mut fail_below = None;
+    let mut from_log = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--fail-below" {
@@ -316,26 +384,108 @@ fn parse_cli(args: &[String]) -> Result<(String, String, Option<f64>), String> {
                 ));
             }
             fail_below = Some(ratio);
+        } else if arg == "--speedup-from-log" {
+            from_log = true;
         } else {
             positionals.push(arg);
         }
     }
-    match positionals.as_slice() {
-        [a, b] => Ok(((*a).clone(), (*b).clone(), fail_below)),
-        _ => Err(
-            "usage: bench_diff <baseline.json> <candidate.json> [--fail-below <ratio>]".to_string(),
-        ),
+    let usage = "usage: bench_diff <baseline.json> <candidate.json> [--fail-below <ratio>]\n\
+                 \x20      bench_diff --speedup-from-log <log> <old-row> <new-row> \
+                 [--fail-below <ratio>]";
+    match (from_log, positionals.as_slice()) {
+        (false, [a, b]) => Ok((
+            Mode::Snapshots {
+                baseline: (*a).clone(),
+                candidate: (*b).clone(),
+            },
+            fail_below,
+        )),
+        (true, [log, old_row, new_row]) => Ok((
+            Mode::SpeedupFromLog {
+                log: (*log).clone(),
+                old_row: (*old_row).clone(),
+                new_row: (*new_row).clone(),
+            },
+            fail_below,
+        )),
+        _ => Err(usage.to_string()),
     }
+}
+
+/// The `--speedup-from-log` entry point: ratio of two rows of one log.
+fn run_speedup_from_log(
+    log_path: &str,
+    old_row: &str,
+    new_row: &str,
+    fail_below: Option<f64>,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(log_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {log_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let means = parse_log_means(&text);
+    let lookup = |row: &str| {
+        means.get(row).copied().ok_or_else(|| {
+            let known: Vec<&str> = means.keys().map(String::as_str).collect();
+            format!(
+                "row {row:?} not found in {log_path} (rows: {})",
+                if known.is_empty() {
+                    "none parsed".to_string()
+                } else {
+                    known.join(", ")
+                }
+            )
+        })
+    };
+    let (old_mean, new_mean) = match (lookup(old_row), lookup(new_row)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if new_mean <= 0.0 {
+        eprintln!("error: row {new_row:?} has a non-positive mean");
+        return ExitCode::FAILURE;
+    }
+    let speedup = old_mean / new_mean;
+    println!("log: {log_path}");
+    println!("  {old_row:<48} {:>10.3}ms   (old)", old_mean * 1e3);
+    println!("  {new_row:<48} {:>10.3}ms   (new)", new_mean * 1e3);
+    println!("  speedup: x{speedup:.2}");
+    if let Some(threshold) = fail_below {
+        if speedup < threshold {
+            eprintln!("\nregression gate: x{speedup:.2} is below x{threshold}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nregression gate: x{speedup:.2} at or above x{threshold}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline_path, candidate_path, fail_below) = match parse_cli(&args) {
+    let (mode, fail_below) = match parse_cli(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
+    };
+    let (baseline_path, candidate_path) = match mode {
+        Mode::SpeedupFromLog {
+            log,
+            old_row,
+            new_row,
+        } => return run_speedup_from_log(&log, &old_row, &new_row, fail_below),
+        Mode::Snapshots {
+            baseline,
+            candidate,
+        } => (baseline, candidate),
     };
     let (baseline, candidate) = match (load_groups(&baseline_path), load_groups(&candidate_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -425,7 +575,9 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{gate_failures, mean_of, parse_cli, parse_duration_secs, parse_json};
+    use super::{
+        gate_failures, mean_of, parse_cli, parse_duration_secs, parse_json, parse_log_means, Mode,
+    };
 
     fn close(actual: Option<f64>, expected: f64) -> bool {
         actual.is_some_and(|a| (a - expected).abs() <= 1e-12 * expected.abs().max(1.0))
@@ -445,22 +597,80 @@ mod tests {
     #[test]
     fn cli_accepts_the_fail_below_flag_anywhere() {
         let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        let snapshots = |a: &str, b: &str| Mode::Snapshots {
+            baseline: a.into(),
+            candidate: b.into(),
+        };
         assert_eq!(
             parse_cli(&args(&["a.json", "b.json"])).unwrap(),
-            ("a.json".into(), "b.json".into(), None)
+            (snapshots("a.json", "b.json"), None)
         );
         assert_eq!(
             parse_cli(&args(&["a.json", "b.json", "--fail-below", "0.8"])).unwrap(),
-            ("a.json".into(), "b.json".into(), Some(0.8))
+            (snapshots("a.json", "b.json"), Some(0.8))
         );
         assert_eq!(
             parse_cli(&args(&["--fail-below", "1.5", "a.json", "b.json"])).unwrap(),
-            ("a.json".into(), "b.json".into(), Some(1.5))
+            (snapshots("a.json", "b.json"), Some(1.5))
         );
         assert!(parse_cli(&args(&["a.json"])).is_err());
         assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below"])).is_err());
         assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below", "zero"])).is_err());
         assert!(parse_cli(&args(&["a.json", "b.json", "--fail-below", "-1"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_the_speedup_from_log_mode() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_cli(&args(&[
+                "--speedup-from-log",
+                "bench.log",
+                "g/old/100",
+                "g/new/100",
+                "--fail-below",
+                "1.3",
+            ]))
+            .unwrap(),
+            (
+                Mode::SpeedupFromLog {
+                    log: "bench.log".into(),
+                    old_row: "g/old/100".into(),
+                    new_row: "g/new/100".into(),
+                },
+                Some(1.3)
+            )
+        );
+        // The flag changes the expected positional count.
+        assert!(parse_cli(&args(&["--speedup-from-log", "bench.log", "g/old"])).is_err());
+        assert!(parse_cli(&args(&["bench.log", "g/old", "g/new"])).is_err());
+    }
+
+    #[test]
+    fn log_parser_extracts_group_qualified_means() {
+        let log = [
+            "warming up",
+            "",
+            "group: pipeline_adaptive_e2e",
+            "  adaptive_t1/100000                       [     21.500s      21.920s      22.400s]  (10 samples)",
+            "  adaptive_t4/100000                       [     12.000s      12.500s      13.100s]  (10 samples)",
+            "",
+            "group: walk_kernel",
+            "  v3/t64                                   [    1.807ms      2.100ms      2.500ms]  (10 samples)",
+            "  broken                                   (no samples collected)",
+            "  noise [not a row",
+        ]
+        .join("\n");
+        let means = parse_log_means(&log);
+        assert_eq!(means.len(), 3);
+        let close = |key: &str, want: f64| {
+            let got = means[key];
+            assert!((got - want).abs() < 1e-9, "{key}: {got} != {want}");
+        };
+        close("pipeline_adaptive_e2e/adaptive_t1/100000", 21.920);
+        close("pipeline_adaptive_e2e/adaptive_t4/100000", 12.500);
+        close("walk_kernel/v3/t64", 2.1e-3);
+        assert!(!means.contains_key("walk_kernel/broken"));
     }
 
     #[test]

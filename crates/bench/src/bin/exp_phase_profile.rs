@@ -80,4 +80,21 @@ fn main() {
         }
         println!("{name:<22} {count:>6} {rounds:>10} {words:>14} {wall:>12.1}");
     }
+
+    // The walk-kernel telemetry behind the randomize row (DESIGN.md §10):
+    // cumulative process-global counters, but this process ran one pipeline.
+    let w = wcc_mpc::walk_telemetry_snapshot();
+    if w.steps > 0 {
+        println!(
+            "walk telemetry: steps={} moves={} stays_compressed={} keystream_words={} \
+             ({:.3}/step) refills={} spec_fallbacks={}",
+            w.steps,
+            w.moves,
+            w.stays_compressed,
+            w.keystream_words,
+            w.keystream_words as f64 / w.steps as f64,
+            w.refills,
+            w.spec_fallbacks
+        );
+    }
 }

@@ -16,7 +16,10 @@
 //! and external scripts consume this rather than scraping the human
 //! output); threaded runs include a `pool` object with the persistent
 //! worker pool's telemetry (dispatches, spawned threads, stolen chunks,
-//! park/unpark counts). `--threads 0` means one worker per available CPU;
+//! park/unpark counts), and runs that simulate random walks include a
+//! `walk` object with the walk-kernel telemetry (steps, real moves vs
+//! compressed stays, keystream words, refills, spec lane-group
+//! fallbacks). `--threads 0` means one worker per available CPU;
 //! without the flag, `WCC_THREADS` decides (same 0-means-auto convention).
 //!
 //! `wcc stream` replays a batch schedule in the binary chunk format (magic
@@ -43,7 +46,10 @@ use wcc_baselines::run_baseline;
 use wcc_core::prelude::*;
 use wcc_core::sublinear::{sublinear_components, SublinearParams};
 use wcc_graph::prelude::*;
-use wcc_mpc::{Executor, MpcConfig, MpcContext, PhaseStats, PoolTelemetry, RoundStats, TupleWidth};
+use wcc_mpc::{
+    Executor, MpcConfig, MpcContext, PhaseStats, PoolTelemetry, RoundStats, TupleWidth,
+    WalkTelemetry,
+};
 
 #[derive(PartialEq)]
 enum Mode {
@@ -121,6 +127,13 @@ struct JsonReport {
     /// spawn, steal and park counters — see `wcc_mpc::PoolTelemetry`);
     /// `null` when the run never engaged the threaded backend.
     pool: Option<PoolTelemetry>,
+    /// Walk-kernel telemetry for the whole process (cumulative steps, real
+    /// moves vs compressed stays, keystream words, batch refills and spec
+    /// lane-group fallbacks — see `wcc_mpc::WalkTelemetry`); `null` when the
+    /// run never simulated a walk. Like `wall_time_ms` and `pool`, this is a
+    /// simulator observable, not a model quantity: it is outside the stats
+    /// the determinism contract pins.
+    walk: Option<WalkTelemetry>,
 }
 
 /// The process-wide pool counters, or `None` if no threaded dispatch ever
@@ -129,6 +142,13 @@ struct JsonReport {
 fn pool_report() -> Option<PoolTelemetry> {
     let t = Executor::process_pool_telemetry();
     (t.dispatches > 0 || t.spawned_threads > 0).then_some(t)
+}
+
+/// The process-wide walk-kernel counters, or `None` if the run never
+/// simulated a walk step (mirrors [`pool_report`]).
+fn walk_report() -> Option<WalkTelemetry> {
+    let t = wcc_mpc::walk_telemetry_snapshot();
+    (t.steps > 0).then_some(t)
 }
 
 /// One `wcc stream` batch in the `--json` record: the same quantities the
@@ -459,6 +479,7 @@ fn run_stream(opts: &Options) -> ExitCode {
             batches: Some(reports.iter().map(JsonBatch::from).collect()),
             component_sizes: sizes,
             pool: pool_report(),
+            walk: walk_report(),
         });
     }
 
@@ -610,6 +631,7 @@ fn main() -> ExitCode {
             batches: None,
             component_sizes: sizes,
             pool: pool_report(),
+            walk: walk_report(),
         });
     }
 

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wcc_graph::{components, ComponentLabels, Graph, GraphBuilder, Partition};
-use wcc_mpc::{derive_stream_seed, pack_edge, unpack_edge, Executor, MpcContext, TupleWidth};
+use wcc_mpc::{derive_stream_seed, pack_edge, Executor, MpcContext, TupleWidth};
 
 /// The grouping decided by one leader-election round on a contraction graph.
 #[derive(Debug, Clone)]
@@ -130,19 +130,21 @@ pub fn contraction_graph(g: &Graph, partition: &Partition, ctx: &mut MpcContext)
 /// count decides the path: compact — always, unless the vertex set exceeds
 /// `u32` range, which the `(u32, u32)`-backed [`Graph`] only allows via
 /// isolated vertices — packs each relabelled edge `(a, b)`, `a ≤ b`, into
-/// the key [`pack_edge`]`(a, b)`. Lexicographic tuple order equals integer
-/// order on the packed keys, so a byte-skipping [`radix_sort_u64`] + linear
-/// dedup reproduces the wide path's `sort_unstable` + `dedup` bit for bit
-/// while moving half the bytes per tuple. The wide `(usize, usize)` path
-/// ([`contract_edges_wide`]) is the executable spec and the fallback for
-/// part counts beyond the compact identifier space — negotiation, never
-/// truncation.
+/// the key [`pack_edge`]`(a, b)` and hands the unsorted key multiset to
+/// [`Graph::from_packed_edge_multiset`], whose bucket-by-endpoint build
+/// (histogram + scatter + per-row sort/dedup) reproduces the wide path's
+/// global `sort_unstable` + `dedup` bit for bit while replacing the full
+/// multi-pass sort with one scatter and cache-resident row sorts. The wide
+/// `(usize, usize)` path ([`contract_edges_wide`]) is the executable spec
+/// and the fallback for part counts beyond the compact identifier space —
+/// negotiation, never truncation.
 ///
 /// Charges one sort over the *total* edge count, exactly what one call on
 /// the materialised union charged, with the byte column at the negotiated
-/// width. The per-edge relabelling fans out over contiguous edge chunks on
-/// the context's backend; the sort + dedup that follows erases the (already
-/// deterministic) chunk order.
+/// width (the bucket build performs the same grouping work the charged
+/// sort models). The per-edge relabelling fans out over contiguous edge
+/// chunks on the context's backend; the grouping that follows erases the
+/// (already deterministic) chunk order.
 pub fn contraction_graph_of_refs(
     graphs: &[&Graph],
     partition: &Partition,
@@ -151,23 +153,38 @@ pub fn contraction_graph_of_refs(
     let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
     let width = TupleWidth::negotiate(partition.num_parts());
     ctx.charge_sort_with_bytes(total_edges.max(1), width.edge_bytes());
-    let edges = if width.is_compact() {
-        contract_edges_compact(graphs, partition, &ctx.executor())
+    if width.is_compact() {
+        let packed = contract_edges_compact(graphs, partition, &ctx.executor());
+        Graph::from_packed_edge_multiset(partition.num_parts(), &packed)
     } else {
-        contract_edges_wide(graphs, partition, &ctx.executor())
-    };
-    Graph::from_edges_unchecked(partition.num_parts(), edges)
+        let edges = contract_edges_wide(graphs, partition, &ctx.executor());
+        Graph::from_edges_unchecked(partition.num_parts(), edges)
+    }
 }
 
-/// The compact contraction data plane: relabel into `u64`-packed edges,
-/// radix sort, dedup, unpack. Caller must have negotiated
-/// [`TupleWidth::Compact`] for `partition.num_parts()`.
+/// The compact contraction data plane's relabel pass: each surviving edge
+/// becomes one `u64`-packed key, `(a << 32) | b` with `a ≤ b`, self-loops
+/// dropped. The key **multiset** is returned in deterministic chunk order
+/// but otherwise unsorted — sorting and deduplication happen inside
+/// [`Graph::from_packed_edge_multiset`], bucketed per endpoint instead of
+/// globally. No wide tuples are ever materialised. Caller must have
+/// negotiated [`TupleWidth::Compact`] for `partition.num_parts()`.
 fn contract_edges_compact(
     graphs: &[&Graph],
     partition: &Partition,
     executor: &Executor,
-) -> Vec<(usize, usize)> {
+) -> Vec<u64> {
     let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    // Compact-width labels in a flat u32 table: the relabel pass makes two
+    // random lookups per edge, and halving the table's bytes (vs the
+    // usize-backed `part_of`) keeps it cache-resident at the vertex counts
+    // where this path is hot. Negotiated width guarantees the cast is
+    // lossless.
+    let labels: Vec<u32> = partition
+        .part_of_slice()
+        .iter()
+        .map(|&p| p as u32)
+        .collect();
     let mut packed: Vec<u64> = Vec::new();
     for (gi, g) in graphs.iter().enumerate() {
         let raw = g.edges();
@@ -175,11 +192,11 @@ fn contract_edges_compact(
             raw[range]
                 .iter()
                 .filter_map(|&(u, v)| {
-                    let a = partition.part_of(u as usize);
-                    let b = partition.part_of(v as usize);
+                    let a = labels[u as usize];
+                    let b = labels[v as usize];
                     match a.cmp(&b) {
-                        std::cmp::Ordering::Less => Some(pack_edge(a, b)),
-                        std::cmp::Ordering::Greater => Some(pack_edge(b, a)),
+                        std::cmp::Ordering::Less => Some(pack_edge(a as usize, b as usize)),
+                        std::cmp::Ordering::Greater => Some(pack_edge(b as usize, a as usize)),
                         std::cmp::Ordering::Equal => None,
                     }
                 })
@@ -192,10 +209,7 @@ fn contract_edges_compact(
             packed.extend_from_slice(&chunk);
         }
     }
-    let mut scratch = Vec::new();
-    wcc_mpc::radix_sort_u64(&mut packed, &mut scratch);
-    packed.dedup();
-    packed.iter().map(|&k| unpack_edge(k)).collect()
+    packed
 }
 
 /// The wide contraction data plane, kept as the executable specification of
@@ -460,7 +474,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use wcc_graph::prelude::*;
-    use wcc_mpc::MpcConfig;
+    use wcc_mpc::{unpack_edge, MpcConfig};
 
     fn ctx() -> MpcContext {
         MpcContext::new(MpcConfig::for_input_size(1 << 16, 0.5).permissive())
@@ -544,9 +558,10 @@ mod tests {
 
     #[test]
     fn compact_contraction_matches_wide_spec() {
-        // The u64-packed radix path and the wide (usize, usize) spec must
-        // produce identical edge lists on the same inputs, across thread
-        // counts, graph shapes and seeds.
+        // The u64-packed path (relabel to an unsorted key multiset, then
+        // the bucket-by-endpoint graph build) and the wide (usize, usize)
+        // spec (global sort + dedup) must produce identical graphs on the
+        // same inputs, across thread counts, graph shapes and seeds.
         for threads in [1usize, 2, 8] {
             let executor = Executor::threaded(threads);
             for seed in [3u64, 11, 29] {
@@ -556,12 +571,36 @@ mod tests {
                 let labels: Vec<usize> = (0..160).map(|v| v % 37).collect();
                 let part = Partition::from_raw_labels(&labels);
                 let refs = [&g1, &g2];
-                let compact = contract_edges_compact(&refs, &part, &executor);
-                let wide = contract_edges_wide(&refs, &part, &executor);
-                assert_eq!(
-                    compact, wide,
-                    "compact/wide divergence at threads={threads}, seed={seed}"
+                let packed = contract_edges_compact(&refs, &part, &executor);
+                {
+                    let mut sorted = packed.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    let unpacked: Vec<(usize, usize)> =
+                        sorted.iter().map(|&k| unpack_edge(k)).collect();
+                    let wide = contract_edges_wide(&refs, &part, &executor);
+                    assert_eq!(
+                        unpacked, wide,
+                        "compact/wide divergence at threads={threads}, seed={seed}"
+                    );
+                }
+                let compact_graph = Graph::from_packed_edge_multiset(part.num_parts(), &packed);
+                let wide_graph = Graph::from_edges_unchecked(
+                    part.num_parts(),
+                    contract_edges_wide(&refs, &part, &executor),
                 );
+                assert_eq!(
+                    compact_graph.edges(),
+                    wide_graph.edges(),
+                    "bucket-build/wide edge divergence at threads={threads}, seed={seed}"
+                );
+                for v in 0..part.num_parts() {
+                    assert_eq!(
+                        compact_graph.neighbors(v),
+                        wide_graph.neighbors(v),
+                        "adjacency row divergence at v={v}, threads={threads}, seed={seed}"
+                    );
+                }
             }
         }
     }

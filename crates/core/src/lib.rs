@@ -68,6 +68,7 @@ pub use crate::stream::{
     BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
 };
 pub use crate::sublinear::{sublinear_components, SublinearParams, SublinearResult};
+pub use crate::walks::WalkKernel;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -80,4 +81,5 @@ pub mod prelude {
         BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
     };
     pub use crate::sublinear::{sublinear_components, SublinearParams, SublinearResult};
+    pub use crate::walks::WalkKernel;
 }

@@ -25,6 +25,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::walks::WalkKernel;
+
 /// Tunable constants of the full pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Params {
@@ -79,6 +81,11 @@ pub struct Params {
     /// are bit-identical for every value — see DESIGN.md, "The executor
     /// seam" and "The persistent pool".
     pub threads: usize,
+    /// Which batched walk kernel simulates the Direct randomization fan-out
+    /// (overridable at run time via `WCC_WALK_KERNEL`). Kernels realise the
+    /// same walk distribution but consume per-vertex keystreams differently,
+    /// so fixed-seed outputs are pinned per kernel — see DESIGN.md §10.
+    pub walk_kernel: WalkKernel,
 }
 
 impl Params {
@@ -107,6 +114,7 @@ impl Params {
             layer_copies_multiplier: 2,
             max_walk_length: 1 << 20,
             threads: 0,
+            walk_kernel: WalkKernel::V3,
         }
     }
 
@@ -128,6 +136,7 @@ impl Params {
             layer_copies_multiplier: 2,
             max_walk_length: 4096,
             threads: 0,
+            walk_kernel: WalkKernel::V3,
         }
     }
 
@@ -146,6 +155,13 @@ impl Params {
     /// means one worker per available CPU).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy using the given walk kernel (still subject to the
+    /// `WCC_WALK_KERNEL` environment override at run time).
+    pub fn with_walk_kernel(mut self, kernel: WalkKernel) -> Self {
+        self.walk_kernel = kernel;
         self
     }
 

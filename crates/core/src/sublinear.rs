@@ -19,13 +19,13 @@
 
 use crate::leader::{contraction_graph, leader_election};
 use crate::regularize::CoreError;
-use crate::walks::{direct_walk_visits_into, WalkVisitScratch};
+use crate::walks::{direct_walk_visits_into, v3_walk_visits_into, WalkKernel, WalkVisitScratch};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use wcc_graph::{ComponentLabels, Graph, GraphBuilder, Partition};
-use wcc_mpc::{MpcConfig, MpcContext, RoundStats};
+use wcc_mpc::{record_walk_telemetry, MpcConfig, MpcContext, RoundStats, WalkTelemetry};
 
 /// Tunable constants of [`sublinear_components`]. The paper's choices are
 /// `d = n log⁴ n / s` and `t = 100 d³ log n`; the laptop preset keeps the
@@ -48,6 +48,11 @@ pub struct SublinearParams {
     /// Worker threads of the execution backend (`1` = sequential, `0` =
     /// resolve from `WCC_THREADS`); results are identical for every value.
     pub threads: usize,
+    /// Which walk kernel draws the densification walks (the Section-8 path
+    /// shares the pipeline's kernel, per DESIGN.md §10): v3 uses one 32-bit
+    /// keystream word per step, spec the two-word 64-bit draw. Overridable
+    /// at run time via `WCC_WALK_KERNEL`.
+    pub walk_kernel: WalkKernel,
 }
 
 impl SublinearParams {
@@ -61,6 +66,7 @@ impl SublinearParams {
             leader_multiplier: 1.0,
             sketch_phases: 40,
             threads: 0,
+            walk_kernel: WalkKernel::V3,
         }
     }
 
@@ -76,6 +82,7 @@ impl SublinearParams {
             leader_multiplier: 1.0,
             sketch_phases: 24,
             threads: 0,
+            walk_kernel: WalkKernel::V3,
         }
     }
 
@@ -170,16 +177,31 @@ pub fn sublinear_components(
     // across all of its walks (no per-vertex hash set or visit vector
     // survives the fan-out).
     let walk_base = rng.gen::<u64>();
+    let kernel = params.walk_kernel.resolve();
     let pairs: Vec<(usize, usize)> = ctx.executor().flat_map_ranges(n, |range| {
         let mut out = Vec::new();
         let mut scratch = WalkVisitScratch::new();
         let mut visits = Vec::new();
+        let mut tally = WalkTelemetry::default();
         for v in range {
             let mut vrng =
                 ChaCha8Rng::seed_from_u64(wcc_mpc::derive_stream_seed(walk_base, v as u64));
-            direct_walk_visits_into(g, v, t, &mut vrng, &mut scratch, &mut visits);
+            match kernel {
+                WalkKernel::V3 => {
+                    v3_walk_visits_into(g, v, t, &mut vrng, &mut scratch, &mut visits, &mut tally);
+                }
+                WalkKernel::Spec => {
+                    direct_walk_visits_into(g, v, t, &mut vrng, &mut scratch, &mut visits);
+                    // Nominal accounting: the 64-bit draw is two keystream
+                    // words per step, every step a real move.
+                    tally.steps += t as u64;
+                    tally.moves += t as u64;
+                    tally.keystream_words += 2 * t as u64;
+                }
+            }
             out.extend(visits.iter().copied().filter(|&u| u != v).map(|u| (v, u)));
         }
+        record_walk_telemetry(&tally);
         out
     });
     let mut builder = GraphBuilder::with_capacity(n, pairs.len());

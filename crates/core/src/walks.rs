@@ -28,18 +28,33 @@
 //! [`LazyView`](wcc_graph::LazyView) — the `Δ` added self-loops are simulated
 //! arithmetically (neighbour indices `>= deg(v)` mean "stay"). The view
 //! reproduces the materialised CSR index-for-index, so walk endpoints are
-//! bit-identical either way. At scale the direct path *does* materialise the
-//! flat `n × 2Δ` lazy-adjacency table once per regular graph: the table turns
-//! every step into one unconditional load (a "stay" draw lands on a self
-//! entry in the just-touched line), which is what lets the batched kernel run
-//! at the memory-latency floor (see DESIGN.md §5, "The walk engine").
+//! bit-identical either way.
+//!
+//! At scale the direct path runs one of two batched kernels, selected by
+//! [`WalkKernel`]:
+//!
+//! * [`WalkKernel::Spec`] — the executable spec: a materialised `n × 2Δ`
+//!   lazy-adjacency table turns every lazy step into one unconditional load,
+//!   paid for with two keystream words per step in lockstep lanes
+//!   (DESIGN.md §5, "The walk engine").
+//! * [`WalkKernel::V3`] (default) — stay-run compression + 32-bit draws: the
+//!   lazy stay/move choice is an exact fair coin (span `2Δ`, `Δ` of which are
+//!   self entries), so one pattern word yields 32 stay/move coins and runs of
+//!   stays collapse to a `trailing_zeros`; only real moves pay a one-word
+//!   32-bit Lemire neighbour draw and a random CSR load (DESIGN.md §10).
+//!
+//! The two kernels consume per-vertex keystreams differently, so fixed-seed
+//! outputs differ *between kernels* while each kernel stays bit-identical
+//! across backends and thread counts; `tests/walk_kernel_equivalence.rs`
+//! pins the distributions against each other.
 
 use crate::regularize::CoreError;
 
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::{ChaCha8Batch, ChaCha8Rng};
+use serde::{Deserialize, Serialize};
 use wcc_graph::{AdjacencyView, Graph, GraphBuilder};
-use wcc_mpc::{derive_stream_seed, MpcContext};
+use wcc_mpc::{derive_stream_seed, record_walk_telemetry, MpcContext, WalkTelemetry};
 
 /// Which implementation of the Theorem-3 walk primitive to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +63,51 @@ pub enum WalkMode {
     Direct,
     /// The layered-graph data structure with independence detection.
     Faithful,
+}
+
+/// Which generation of the batched lazy-walk kernel simulates the Direct
+/// fan-out.
+///
+/// Both kernels draw every step from the same per-vertex ChaCha8 streams and
+/// realise exactly the same lazy-step distribution, but they *consume* the
+/// keystream differently, so fixed-seed outputs legitimately differ between
+/// kernels — determinism is defined per seed per kernel version (DESIGN.md
+/// §3 and §10). Within one kernel, labels and stats remain bit-identical
+/// across backends and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkKernel {
+    /// Third-generation kernel (the default): stay-run compression from
+    /// pattern words plus one 32-bit Lemire draw per real move.
+    V3,
+    /// The step-by-step executable spec: two keystream words and one
+    /// materialised lazy-table load for every step, lockstep lanes.
+    Spec,
+}
+
+impl WalkKernel {
+    /// Environment override consulted by [`WalkKernel::resolve`]: set to
+    /// `v3` or `spec` to force a kernel regardless of the configured params
+    /// (handy for A/B timing without a recompile).
+    pub const ENV_VAR: &'static str = "WCC_WALK_KERNEL";
+
+    /// The kernel to actually run: the [`Self::ENV_VAR`] value wins when it
+    /// is set and recognisable, otherwise `self`.
+    pub fn resolve(self) -> WalkKernel {
+        self.resolve_from(std::env::var(Self::ENV_VAR).ok().as_deref())
+    }
+
+    /// [`Self::resolve`] with the environment read factored out (testable
+    /// without mutating process-global state).
+    fn resolve_from(self, var: Option<&str>) -> WalkKernel {
+        match var {
+            Some(value) => match value.to_ascii_lowercase().as_str() {
+                "v3" => WalkKernel::V3,
+                "spec" => WalkKernel::Spec,
+                _ => self,
+            },
+            None => self,
+        }
+    }
 }
 
 /// The outcome of one run of the layered-graph walk data structure: one
@@ -151,16 +211,21 @@ pub fn layered_walk_bundle<V: AdjacencyView, R: Rng + ?Sized>(
     }
 
     // Endpoint computation by pointer doubling (`N_k(α) = N_{k-1}(N_{k-1}(α))`).
+    // Two ping-pong buffers serve all `log t` passes; every entry is written
+    // each pass (the scratch holds the *previous* pass's table after the
+    // swap, so stale entries must be overwritten, not skipped).
     let log_t = t.trailing_zeros();
     let mut jump = next;
+    let mut squared = vec![NONE; num_vertices];
     for _ in 0..log_t {
-        let mut squared = vec![NONE; num_vertices];
         for (alpha, &beta) in jump.iter().enumerate() {
-            if beta != NONE {
-                squared[alpha] = jump[beta as usize];
-            }
+            squared[alpha] = if beta != NONE {
+                jump[beta as usize]
+            } else {
+                NONE
+            };
         }
-        jump = squared;
+        core::mem::swap(&mut jump, &mut squared);
     }
     let targets: Vec<usize> = (0..n)
         .map(|v| {
@@ -286,6 +351,49 @@ pub fn direct_walk_visits_into<V: AdjacencyView, R: Rng + ?Sized>(
     }
 }
 
+/// v3 counterpart of [`direct_walk_visits_into`]: same visit semantics, but
+/// each step's neighbour index is one 32-bit Lemire draw instead of the
+/// two-word 64-bit `gen_range` — the kernel-sharing the densification path
+/// (Section 8) gets from the v3 rewrite. There is no stay-run lever here:
+/// the sublinear walk runs on the *raw* graph, where every step is a real
+/// move (and on a lazy view, stays would add no new visits anyway — the
+/// compression-legality argument of DESIGN.md §10). Consumption differs
+/// from the 64-bit path, so fixed-seed sublinear outputs shift with the
+/// kernel, exactly like the pipeline's.
+pub fn v3_walk_visits_into<V: AdjacencyView, R: RngCore + ?Sized>(
+    g: &V,
+    start: usize,
+    t: usize,
+    rng: &mut R,
+    scratch: &mut WalkVisitScratch,
+    out: &mut Vec<usize>,
+    tally: &mut WalkTelemetry,
+) {
+    out.clear();
+    let epoch = scratch.begin(g.num_vertices());
+    let mut cur = start;
+    scratch.stamp[cur] = epoch;
+    out.push(cur);
+    let mut src = RngWords {
+        rng,
+        words: &mut tally.keystream_words,
+    };
+    for _ in 0..t {
+        let deg = g.degree(cur);
+        if deg == 0 {
+            break;
+        }
+        let j = lemire_u32(&mut src, deg as u32) as usize;
+        cur = g.nth_neighbor(cur, j).expect("degree > 0");
+        tally.steps += 1;
+        tally.moves += 1;
+        if scratch.stamp[cur] != epoch {
+            scratch.stamp[cur] = epoch;
+            out.push(cur);
+        }
+    }
+}
+
 /// Lane count of the batched lazy-walk kernel: fills one 512-bit register
 /// of `u32` lanes and keeps enough independent adjacency loads in flight to
 /// hide their latency (32 lanes measurably regress on register spills).
@@ -352,6 +460,335 @@ fn lazy_walk_lane_group(
     near_reject == 0
 }
 
+/// One keystream word per call, in exactly the order the owning per-vertex
+/// ChaCha8 stream produces them. The scalar v3 walk ([`v3_walk_run`]) is
+/// written against this trait; the batched kernel ([`v3_walk_lane_group`])
+/// reads the same words straight out of lockstep [`ChaCha8Batch`] blocks at
+/// the closed-form positions the fixed window allotment guarantees — so the
+/// scalar tail path and the batched path agree word for word (the vendored
+/// lane≡single-stream property supplies the stream equality, the lane-group
+/// tests pin the order).
+trait WordSource {
+    fn next_word(&mut self) -> u32;
+}
+
+/// Scalar word source over any [`RngCore`] (`next_u32` is one keystream word
+/// for `ChaCha8Rng`), with a running word count for telemetry.
+struct RngWords<'a, R: RngCore + ?Sized> {
+    rng: &'a mut R,
+    words: &'a mut u64,
+}
+
+impl<R: RngCore + ?Sized> WordSource for RngWords<'_, R> {
+    #[inline(always)]
+    fn next_word(&mut self) -> u32 {
+        *self.words += 1;
+        self.rng.next_u32()
+    }
+}
+
+/// One 32-bit Lemire draw from `[0, span)` with exact in-line rejection —
+/// the 32-bit twin of the vendored `sample_half_open` (vendor/rand). Every
+/// degree this kernel draws over fits `u32` (vertex ids are `u32`), so one
+/// keystream word per draw replaces the spec kernel's two; the rejection
+/// probability per draw is `< span / 2^32`, resolved by redrawing from the
+/// same stream rather than bailing to a fallback path.
+#[inline(always)]
+fn lemire_u32<W: WordSource>(words: &mut W, span: u32) -> u32 {
+    debug_assert!(span > 0);
+    loop {
+        let x = words.next_word();
+        let m = (x as u64) * (span as u64);
+        let lo = m as u32;
+        // `threshold = (2^32 - span) mod span` is `< span`, so `lo >= span`
+        // accepts without paying the modulo.
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+/// Endpoint of one length-`t` v3 lazy walk from `start` on the Δ-regular
+/// graph with flat CSR `adjacency` (row `v` at offset `v·Δ`, `neighbors`
+/// order), drawing words from `words`. The scalar form the batched kernel
+/// must match lane-for-lane; also the tail path of the fan-out.
+///
+/// The v3 stream discipline is **windowed with a fixed allotment**: each
+/// 32-step window of a walk owns exactly `1 + runnable` consecutive stream
+/// words (`runnable = min(32, steps left)`) — one pattern word whose bits
+/// are the window's stay/move coins (`1` = real move, LSB first; on the
+/// lazy span `2Δ`, `Δ` entries are self copies, so the stay/move marginal
+/// is *exactly* a fair coin and the pattern bits are a lossless encoding
+/// of the window's lazification), then one draw word per move bit in bit
+/// order, rejection redraws continuing in sequence, and the unused rest of
+/// the allotment skipped. The fixed allotment makes every lane's stream
+/// position a closed form of (walk index, window index) — that is what
+/// lets the batched kernel read draws straight out of lockstep keystream
+/// blocks with no per-lane buffering. The one data-dependent escape — a
+/// redraw cascade pushing past the allotment, probability `< Δ/2³²` per
+/// draw — simply runs on unpadded here; the batched kernel detects it and
+/// delegates the group to this path.
+fn v3_walk_run<W: WordSource>(
+    adjacency: &[u32],
+    delta: usize,
+    start: u32,
+    t: usize,
+    words: &mut W,
+    moves: &mut u64,
+) -> u32 {
+    let span = delta as u32;
+    // Lemire acceptance is `lo >= (2^32 - span) mod span` (see
+    // [`lemire_u32`]), hoisted: identically zero for power-of-two Δ.
+    let reject_below = span.wrapping_neg() % span;
+    let mut cur = start;
+    let mut remaining = t as u32;
+    while remaining > 0 {
+        let runnable = remaining.min(32);
+        let usable = if runnable == 32 {
+            !0u32
+        } else {
+            (1u32 << runnable) - 1
+        };
+        let mut bits = words.next_word() & usable;
+        let mut used = 0u32;
+        while bits != 0 {
+            bits &= bits - 1;
+            loop {
+                let x = words.next_word();
+                used += 1;
+                let m = x as u64 * span as u64;
+                if (m as u32) >= reject_below {
+                    cur = adjacency[cur as usize * delta + (m >> 32) as usize];
+                    *moves += 1;
+                    break;
+                }
+            }
+        }
+        // Pad to the window's fixed allotment (no-op after an overflow).
+        while used < runnable {
+            words.next_word();
+            used += 1;
+        }
+        remaining -= runnable;
+    }
+    cur
+}
+
+/// Endpoint of a single v3 lazy walk of length `t` from `start` on the
+/// regular graph `g`, consuming `rng` exactly as the production kernel
+/// consumes the corresponding per-vertex stream — the executable scalar
+/// reference of DESIGN.md §10 (`tests/walk_kernel_equivalence.rs` and the
+/// determinism suite pin the batched kernel against it).
+///
+/// # Panics
+///
+/// Panics if `g` is not regular with positive degree (the v3 kernel's
+/// closed-form CSR offsets need regularity, exactly like Theorem 3 itself).
+pub fn v3_walk_endpoint<R: RngCore + ?Sized>(
+    g: &Graph,
+    start: usize,
+    t: usize,
+    rng: &mut R,
+) -> usize {
+    let delta = g.max_degree();
+    assert!(
+        delta > 0 && g.is_regular(delta),
+        "v3 lazy walks require a regular graph with positive degree"
+    );
+    let (mut words, mut moves) = (0u64, 0u64);
+    let mut src = RngWords {
+        rng,
+        words: &mut words,
+    };
+    v3_walk_run(
+        g.csr_adjacency(),
+        delta,
+        start as u32,
+        t,
+        &mut src,
+        &mut moves,
+    ) as usize
+}
+
+/// Depth of the batched kernel's keystream block ring. A window touches at
+/// most 3 consecutive blocks (33 words from an arbitrary offset); 4 keeps
+/// the generate-ahead from ever overwriting a block the window still reads.
+const RING_BLOCKS: usize = 4;
+
+/// The ring as a row-major array of `u32 × V3_LANES` rows: word `q` of
+/// lane `l`'s stream lives at `ring[q % RING_ROWS][l]`, one masked index
+/// instead of a (block, word) pair per draw.
+const RING_ROWS: usize = 16 * RING_BLOCKS;
+
+/// Lane count of the batched **v3** kernel. Wider than [`WALK_LANES`]: the
+/// v3 group keeps its per-lane state in L1 arrays rather than registers, so
+/// no spill pressure caps it, and 32 independent walk chains hide the
+/// random CSR load latency that the move loop is otherwise bound by.
+const V3_LANES: usize = 32;
+
+/// Simulates the `k` v3 walks of [`V3_LANES`] vertices on a Δ-regular
+/// graph given its flat CSR, writing endpoints vertex-major into `out`
+/// (`out[l·k + i]`, the spec kernel's layout), drawing every lane's words
+/// from the per-vertex stream seeded by `seeds[l]`.
+///
+/// The fixed window allotment of [`v3_walk_run`] is what this kernel
+/// exploits: every lane's stream position is the same closed form of
+/// (walk, window), so all lanes' keystreams advance in lockstep blocks —
+/// one [`ChaCha8Batch`] refill per 16 words, generated straight into a ring
+/// of transposed rows, *zero* per-lane buffering or copying.
+///
+/// A window then splits into a SIMD-friendly precompute and a tiny move
+/// loop, resting on two facts about the discipline. First, a stay does not
+/// change the current vertex, so the endpoint only depends on the
+/// *sequence of accepted draws* — the positions of the move bits inside
+/// the pattern word matter to no walk quantity; only their **count**
+/// does. Second, a lane's draw words are the consecutive stream words
+/// `q₀+1, q₀+2, …` regardless of which steps move. So the kernel maps the
+/// window's `runnable` draw rows through the [Lemire](lemire_u32)
+/// multiply row-by-row (a vectorisable pure-arithmetic pass, writing the
+/// neighbour index table `idx`), reads each lane's move count from its
+/// pattern popcount, and the move loop per lane is just `count` chained
+/// CSR loads: `cur ← adjacency[cur·Δ + idx[d][l]]`. The loop runs in
+/// rounds — round `d` performs every live lane's `d`-th move — over the
+/// lanes counting-sorted by descending move count, so each round's live
+/// set is a prefix and every branch is a loop bound. That keeps up to
+/// [`V3_LANES`] independent loads in flight to hide the CSR access
+/// latency.
+///
+/// Returns `false` (with `out` unspecified) iff any scanned draw word
+/// rejects under Lemire — probability `(Δ mod 2³² mod Δ)/2³² < Δ/2³²` per
+/// word, a handful of groups per billion steps — in which case the caller
+/// reruns the whole group on the scalar path, which replays redraws (and
+/// the even rarer allotment overflow) exactly. The check is conservative:
+/// it scans the window's first `max(move count)` draw rows, including
+/// words past an individual lane's move count that the stream discipline
+/// merely skips.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+fn v3_walk_lane_group(
+    adjacency: &[u32],
+    delta: usize,
+    t: usize,
+    k: usize,
+    vertices: [u32; V3_LANES],
+    seeds: &[u64; V3_LANES],
+    out: &mut [usize],
+    tally: &mut WalkTelemetry,
+) -> bool {
+    debug_assert!(delta > 0);
+    debug_assert_eq!(out.len(), V3_LANES * k);
+    let span = delta as u32;
+    // Lemire acceptance is `lo >= (2^32 - span) mod span` (see
+    // [`lemire_u32`]): hoisted out of the loop, and identically zero for
+    // power-of-two Δ, where no draw can reject.
+    let reject_below = span.wrapping_neg() % span;
+    let mut batch = ChaCha8Batch::<V3_LANES>::seed_from_u64s(seeds);
+    let mut ring = [[0u32; V3_LANES]; RING_ROWS];
+    let mut generated = 0u64;
+    // Stream position of the current window's pattern word — identical for
+    // every lane, by the fixed allotment.
+    let mut q0 = 0u64;
+    let (mut local_moves, mut local_words, mut refills) = (0u64, 0u64, 0u64);
+    // The window's neighbour-index table, hoisted so its 4 KiB are zeroed
+    // once per group, not once per window; rows past a window's `runnable`
+    // hold stale values no lane's move count can reach.
+    let mut idx = [[0u32; V3_LANES]; 32];
+    for walk in 0..k {
+        let mut cur = vertices;
+        let mut remaining = t as u32;
+        while remaining > 0 {
+            let runnable = remaining.min(32);
+            let usable = if runnable == 32 {
+                !0u32
+            } else {
+                (1u32 << runnable) - 1
+            };
+            let last_q = q0 + runnable as u64;
+            while generated * 16 <= last_q {
+                let row = ((generated % RING_BLOCKS as u64) * 16) as usize;
+                let block: &mut [[u32; V3_LANES]; 16] =
+                    (&mut ring[row..row + 16]).try_into().expect("16-row block");
+                batch.refill(block);
+                generated += 1;
+                refills += 1;
+            }
+            // Per-lane move counts from the pattern row's popcounts.
+            let pat_row = &ring[(q0 % RING_ROWS as u64) as usize];
+            let mut mc = [0u8; V3_LANES];
+            let mut window_moves = 0u64;
+            let mut max_mc = 0u8;
+            for (l, c) in mc.iter_mut().enumerate() {
+                *c = (pat_row[l] & usable).count_ones() as u8;
+                window_moves += *c as u64;
+                max_mc = max_mc.max(*c);
+            }
+            local_moves += window_moves;
+            local_words += (V3_LANES as u64) * (1 + runnable as u64);
+            // Map the draw rows through the Lemire multiply in one
+            // arithmetic pass: `idx[d][l]` is lane `l`'s `d`-th neighbour
+            // index of this window. Only the first `max_mc` rows can be
+            // consumed by any lane (the rest of the allotment is skipped
+            // padding), so only those are mapped and rejection-scanned —
+            // any rejecting word delegates the whole group to the scalar
+            // path, which replays redraws exactly.
+            let mut reject_any = 0u32;
+            for (d, row) in idx.iter_mut().enumerate().take(max_mc as usize) {
+                let words = &ring[((q0 + 1 + d as u64) % RING_ROWS as u64) as usize];
+                for (l, slot) in row.iter_mut().enumerate() {
+                    let m = words[l] as u64 * span as u64;
+                    *slot = (m >> 32) as u32;
+                    reject_any |= u32::from((m as u32) < reject_below);
+                }
+            }
+            if reject_any != 0 {
+                return false;
+            }
+            // Apply the moves in rounds: a lane with `mc[l]` moves is live
+            // in rounds `0..mc[l]` and performs its `d`-th move in round
+            // `d`, so counting-sorting the lanes by descending move count
+            // makes round `d`'s live set exactly the prefix of size
+            // `starts[d] = #{l : mc[l] > d}` — no per-move list
+            // maintenance, no per-lane cursor, every branch a loop bound.
+            let mut cnt = [0usize; 33];
+            for &c in &mc {
+                cnt[c as usize] += 1;
+            }
+            let mut starts = [0usize; 33];
+            let mut acc = 0usize;
+            for c in (0..=32usize).rev() {
+                starts[c] = acc;
+                acc += cnt[c];
+            }
+            let mut order = [0u8; V3_LANES];
+            let mut fill = starts;
+            for (l, &c) in mc.iter().enumerate() {
+                order[fill[c as usize]] = l as u8;
+                fill[c as usize] += 1;
+            }
+            for (d, row) in idx.iter().enumerate() {
+                let n_live = starts[d];
+                if n_live == 0 {
+                    break;
+                }
+                for &l8 in &order[..n_live] {
+                    let l = l8 as usize;
+                    let next = adjacency[cur[l] as usize * delta + row[l] as usize];
+                    cur[l] = next;
+                }
+            }
+            q0 += 1 + runnable as u64;
+            remaining -= runnable;
+        }
+        for (l, &c) in cur.iter().enumerate() {
+            out[l * k + walk] = c as usize;
+        }
+    }
+    tally.moves += local_moves;
+    tally.keystream_words += local_words;
+    tally.refills += refills;
+    true
+}
+
 /// Theorem 3 + the lazification of Section 5.2, packaged for the pipeline:
 /// returns `walks_per_vertex` independent lazy-walk endpoints of length `t`
 /// for every vertex of the Δ-regular graph `g`, charging the `O(log t)` MPC
@@ -368,11 +805,13 @@ fn lazy_walk_lane_group(
 /// Returns [`CoreError::BadParams`] if `g` is not regular (the guarantee of
 /// Theorem 3 — and the absence of walk "hubs" — requires regularity; that is
 /// what Step 1 is for).
+#[allow(clippy::too_many_arguments)]
 pub fn independent_lazy_walks<R: Rng + ?Sized>(
     g: &Graph,
     t: usize,
     walks_per_vertex: usize,
     mode: WalkMode,
+    kernel: WalkKernel,
     copies_multiplier: usize,
     ctx: &mut MpcContext,
     rng: &mut R,
@@ -415,54 +854,161 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
                 .iter()
                 .map(|r| r.start * k..r.end * k)
                 .collect();
-            // Full lane groups batch their draws into lockstep keystream
-            // blocks; the tail of a worker's span (and any group whose
-            // lanes neared the Lemire rejection loop) runs the step-by-step
-            // spec. Both paths consume the identical per-vertex stream, so
-            // the split is invisible in the endpoints.
-            //
-            // The kernel walks a materialised lazy adjacency (`2Δ` entries
-            // per vertex, self entries for the virtual loops) so each step
-            // is one unconditional load; `n · 2Δ` words is the size of the
-            // regular graph's own CSR times two, well under the walk
-            // working-set already charged above. Half the rows' entries are
-            // self copies, so "stay" steps usually re-hit the line the lane
-            // just touched — only real moves pay a random L2/L3 access.
-            let span = 2 * delta;
-            let mut lazy_adjacency = vec![0u32; n * span];
-            for (v, row) in lazy_adjacency.chunks_exact_mut(span).enumerate() {
-                row[..delta].copy_from_slice(g.neighbors(v));
-                row[delta..].fill(v as u32);
-            }
-            let lazy_adjacency = &lazy_adjacency[..];
-            executor.map_slices_mut(&mut flat, &ranges, |w, chunk| {
-                let first_vertex = vertex_spans[w].start;
-                let span_len = vertex_spans[w].len();
-                let spec_vertex = |v: usize, slots: &mut [usize]| {
-                    let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
-                    for slot in slots {
-                        *slot = direct_walk_endpoint(&lazy, v, t, &mut vrng);
-                    }
-                };
-                let mut j = 0;
-                while j + WALK_LANES <= span_len {
-                    let vertices: [u32; WALK_LANES] =
-                        core::array::from_fn(|l| (first_vertex + j + l) as u32);
-                    let seeds: [u64; WALK_LANES] = core::array::from_fn(|l| {
-                        derive_stream_seed(base, (first_vertex + j + l) as u64)
-                    });
-                    let group = &mut chunk[j * k..(j + WALK_LANES) * k];
-                    if !lazy_walk_lane_group(lazy_adjacency, span, t, k, vertices, &seeds, group) {
-                        for (l, slots) in group.chunks_exact_mut(k).enumerate() {
-                            spec_vertex(first_vertex + j + l, slots);
+            match kernel {
+                WalkKernel::V3 => {
+                    // The v3 kernel needs no lazy table at all: stays are
+                    // resolved from pattern bits without touching memory, and
+                    // real moves index the regular graph's own CSR with the
+                    // closed-form offset `v·Δ` — the walk working set halves
+                    // to exactly the graph. Full lane groups read lockstep
+                    // keystream blocks generated in place; the tail of a
+                    // worker's span (and the near-impossible
+                    // allotment-overflow groups) runs the scalar form of the
+                    // same discipline on the same per-vertex streams, so the
+                    // split is invisible in the endpoints.
+                    let adjacency = g.csr_adjacency();
+                    executor.map_slices_mut(&mut flat, &ranges, |w, chunk| {
+                        let first_vertex = vertex_spans[w].start;
+                        let span_len = vertex_spans[w].len();
+                        let mut tally = WalkTelemetry::default();
+                        let mut j = 0;
+                        while j + V3_LANES <= span_len {
+                            let vertices: [u32; V3_LANES] =
+                                core::array::from_fn(|l| (first_vertex + j + l) as u32);
+                            let seeds: [u64; V3_LANES] = core::array::from_fn(|l| {
+                                derive_stream_seed(base, (first_vertex + j + l) as u64)
+                            });
+                            let group = &mut chunk[j * k..(j + V3_LANES) * k];
+                            if !v3_walk_lane_group(
+                                adjacency, delta, t, k, vertices, &seeds, group, &mut tally,
+                            ) {
+                                tally.spec_fallbacks += 1;
+                                for (l, slots) in group.chunks_exact_mut(k).enumerate() {
+                                    let v = first_vertex + j + l;
+                                    let mut vrng = ChaCha8Rng::seed_from_u64(derive_stream_seed(
+                                        base, v as u64,
+                                    ));
+                                    let mut src = RngWords {
+                                        rng: &mut vrng,
+                                        words: &mut tally.keystream_words,
+                                    };
+                                    for slot in slots {
+                                        *slot = v3_walk_run(
+                                            adjacency,
+                                            delta,
+                                            v as u32,
+                                            t,
+                                            &mut src,
+                                            &mut tally.moves,
+                                        ) as usize;
+                                    }
+                                }
+                            }
+                            j += V3_LANES;
                         }
+                        for jj in j..span_len {
+                            let v = first_vertex + jj;
+                            let mut vrng =
+                                ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
+                            let mut src = RngWords {
+                                rng: &mut vrng,
+                                words: &mut tally.keystream_words,
+                            };
+                            for slot in &mut chunk[jj * k..(jj + 1) * k] {
+                                *slot = v3_walk_run(
+                                    adjacency,
+                                    delta,
+                                    v as u32,
+                                    t,
+                                    &mut src,
+                                    &mut tally.moves,
+                                ) as usize;
+                            }
+                        }
+                        tally.steps = (span_len * k * t) as u64;
+                        // Saturating: an allotment-overflow fallback counts
+                        // both the aborted group's moves and the rerun's.
+                        tally.stays_compressed = tally.steps.saturating_sub(tally.moves);
+                        record_walk_telemetry(&tally);
+                    });
+                }
+                WalkKernel::Spec => {
+                    // Full lane groups batch their draws into lockstep
+                    // keystream blocks; the tail of a worker's span (and any
+                    // group whose lanes neared the Lemire rejection loop)
+                    // runs the step-by-step spec. Both paths consume the
+                    // identical per-vertex stream, so the split is invisible
+                    // in the endpoints.
+                    //
+                    // The kernel walks a materialised lazy adjacency (`2Δ`
+                    // entries per vertex, self entries for the virtual
+                    // loops) so each step is one unconditional load; `n ·
+                    // 2Δ` words is the size of the regular graph's own CSR
+                    // times two, well under the walk working-set already
+                    // charged above. Half the rows' entries are self copies,
+                    // so "stay" steps usually re-hit the line the lane just
+                    // touched — only real moves pay a random L2/L3 access.
+                    let span = 2 * delta;
+                    let mut lazy_adjacency = vec![0u32; n * span];
+                    for (v, row) in lazy_adjacency.chunks_exact_mut(span).enumerate() {
+                        row[..delta].copy_from_slice(g.neighbors(v));
+                        row[delta..].fill(v as u32);
                     }
-                    j += WALK_LANES;
+                    let lazy_adjacency = &lazy_adjacency[..];
+                    executor.map_slices_mut(&mut flat, &ranges, |w, chunk| {
+                        let first_vertex = vertex_spans[w].start;
+                        let span_len = vertex_spans[w].len();
+                        let mut tally = WalkTelemetry::default();
+                        let spec_vertex = |v: usize, slots: &mut [usize]| {
+                            let mut vrng =
+                                ChaCha8Rng::seed_from_u64(derive_stream_seed(base, v as u64));
+                            for slot in slots {
+                                *slot = direct_walk_endpoint(&lazy, v, t, &mut vrng);
+                            }
+                        };
+                        let mut j = 0;
+                        while j + WALK_LANES <= span_len {
+                            let vertices: [u32; WALK_LANES] =
+                                core::array::from_fn(|l| (first_vertex + j + l) as u32);
+                            let seeds: [u64; WALK_LANES] = core::array::from_fn(|l| {
+                                derive_stream_seed(base, (first_vertex + j + l) as u64)
+                            });
+                            let group = &mut chunk[j * k..(j + WALK_LANES) * k];
+                            // Nominal accounting: two words per step per
+                            // lane, one block refill per 16 positions (the
+                            // astronomically-rare near-rejection redraws are
+                            // not itemised).
+                            tally.keystream_words += (2 * t * k * WALK_LANES) as u64;
+                            tally.refills += ((2 * t * k).div_ceil(16)) as u64;
+                            if !lazy_walk_lane_group(
+                                lazy_adjacency,
+                                span,
+                                t,
+                                k,
+                                vertices,
+                                &seeds,
+                                group,
+                            ) {
+                                tally.spec_fallbacks += 1;
+                                tally.keystream_words += (2 * t * k * WALK_LANES) as u64;
+                                for (l, slots) in group.chunks_exact_mut(k).enumerate() {
+                                    spec_vertex(first_vertex + j + l, slots);
+                                }
+                            }
+                            j += WALK_LANES;
+                        }
+                        for jj in j..span_len {
+                            tally.keystream_words += (2 * t * k) as u64;
+                            spec_vertex(first_vertex + jj, &mut chunk[jj * k..(jj + 1) * k]);
+                        }
+                        // The spec kernel executes every lazy step in full:
+                        // each one pays its table load, nothing compresses.
+                        tally.steps = (span_len * k * t) as u64;
+                        tally.moves = tally.steps;
+                        record_walk_telemetry(&tally);
+                    });
                 }
-                for jj in j..span_len {
-                    spec_vertex(first_vertex + jj, &mut chunk[jj * k..(jj + 1) * k]);
-                }
-            });
+            }
             Ok(flat)
         }
         WalkMode::Faithful => {
@@ -521,19 +1067,29 @@ pub fn independent_lazy_walks<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates [`CoreError`] from [`independent_lazy_walks`].
+#[allow(clippy::too_many_arguments)]
 pub fn randomize<R: Rng + ?Sized>(
     g: &Graph,
     t: usize,
     out_degree: usize,
     mode: WalkMode,
+    kernel: WalkKernel,
     copies_multiplier: usize,
     ctx: &mut MpcContext,
     rng: &mut R,
 ) -> Result<Graph, CoreError> {
     ctx.begin_phase("randomize");
     let walks_per_vertex = (out_degree / 2).max(1);
-    let endpoints =
-        independent_lazy_walks(g, t, walks_per_vertex, mode, copies_multiplier, ctx, rng)?;
+    let endpoints = independent_lazy_walks(
+        g,
+        t,
+        walks_per_vertex,
+        mode,
+        kernel,
+        copies_multiplier,
+        ctx,
+        rng,
+    )?;
     let n = g.num_vertices();
     let mut builder = GraphBuilder::with_capacity(n, n * walks_per_vertex);
     for (v, targets) in endpoints.chunks_exact(walks_per_vertex).enumerate() {
@@ -577,8 +1133,9 @@ mod tests {
         for mode in [WalkMode::Direct, WalkMode::Faithful] {
             let mut ctx = ctx_for(4 * g.num_edges());
             let mut walk_rng = ChaCha8Rng::seed_from_u64(9);
-            let flat = independent_lazy_walks(&g, 8, 0, mode, 2, &mut ctx, &mut walk_rng)
-                .expect("k = 0 is a valid (trivial) request");
+            let flat =
+                independent_lazy_walks(&g, 8, 0, mode, WalkKernel::V3, 2, &mut ctx, &mut walk_rng)
+                    .expect("k = 0 is a valid (trivial) request");
             assert!(
                 flat.is_empty(),
                 "mode {mode:?} produced endpoints for k = 0"
@@ -722,10 +1279,12 @@ mod tests {
         let g = generators::star(10);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut ctx = ctx_for(100);
-        assert!(matches!(
-            independent_lazy_walks(&g, 4, 2, WalkMode::Direct, 2, &mut ctx, &mut rng),
-            Err(CoreError::BadParams(_))
-        ));
+        for kernel in [WalkKernel::V3, WalkKernel::Spec] {
+            assert!(matches!(
+                independent_lazy_walks(&g, 4, 2, WalkMode::Direct, kernel, 2, &mut ctx, &mut rng),
+                Err(CoreError::BadParams(_))
+            ));
+        }
     }
 
     #[test]
@@ -756,14 +1315,17 @@ mod tests {
         let g = generators::planted_expander_components(&[50, 70], 8, &mut rng);
         let truth = connected_components(&g);
         let mut ctx = ctx_for(4 * g.num_edges());
-        // The planted components are 8-regular expanders; walk long enough to mix.
-        let h = randomize(&g, 48, 12, WalkMode::Direct, 2, &mut ctx, &mut rng).unwrap();
-        assert_eq!(h.num_vertices(), g.num_vertices());
-        let h_cc = connected_components(&h);
-        assert!(
-            h_cc.same_partition(&truth),
-            "randomized graph changed the components"
-        );
+        // The planted components are 8-regular expanders; walk long enough to
+        // mix. Both kernels must preserve the component structure.
+        for kernel in [WalkKernel::V3, WalkKernel::Spec] {
+            let h = randomize(&g, 48, 12, WalkMode::Direct, kernel, 2, &mut ctx, &mut rng).unwrap();
+            assert_eq!(h.num_vertices(), g.num_vertices());
+            let h_cc = connected_components(&h);
+            assert!(
+                h_cc.same_partition(&truth),
+                "randomized graph ({kernel:?}) changed the components"
+            );
+        }
         assert!(ctx.stats().rounds_in_phase("randomize") >= 1);
     }
 
@@ -773,7 +1335,17 @@ mod tests {
         let g = generators::random_regular_permutation_graph(40, 6, &mut rng);
         let truth = connected_components(&g);
         let mut ctx = ctx_for(4 * g.num_edges());
-        let h = randomize(&g, 16, 8, WalkMode::Faithful, 2, &mut ctx, &mut rng).unwrap();
+        let h = randomize(
+            &g,
+            16,
+            8,
+            WalkMode::Faithful,
+            WalkKernel::V3,
+            2,
+            &mut ctx,
+            &mut rng,
+        )
+        .unwrap();
         assert!(connected_components(&h).same_partition(&truth));
     }
 
@@ -783,8 +1355,29 @@ mod tests {
         let g = generators::random_regular_permutation_graph(50, 6, &mut rng);
         let mut ctx_short = ctx_for(4 * g.num_edges());
         let mut ctx_long = ctx_for(4 * g.num_edges());
-        independent_lazy_walks(&g, 4, 1, WalkMode::Direct, 2, &mut ctx_short, &mut rng).unwrap();
-        independent_lazy_walks(&g, 256, 1, WalkMode::Direct, 2, &mut ctx_long, &mut rng).unwrap();
+        let kernel = WalkKernel::V3;
+        independent_lazy_walks(
+            &g,
+            4,
+            1,
+            WalkMode::Direct,
+            kernel,
+            2,
+            &mut ctx_short,
+            &mut rng,
+        )
+        .unwrap();
+        independent_lazy_walks(
+            &g,
+            256,
+            1,
+            WalkMode::Direct,
+            kernel,
+            2,
+            &mut ctx_long,
+            &mut rng,
+        )
+        .unwrap();
         let (a, b) = (
             ctx_short.stats().total_rounds(),
             ctx_long.stats().total_rounds(),
@@ -792,5 +1385,192 @@ mod tests {
         // 64x longer walks cost only ~log-many extra rounds.
         assert!(b > a);
         assert!(b <= a + 14, "rounds went from {a} to {b}");
+    }
+
+    #[test]
+    fn walk_kernel_env_override_resolves_recognised_values_only() {
+        use WalkKernel::{Spec, V3};
+        assert_eq!(V3.resolve_from(None), V3);
+        assert_eq!(Spec.resolve_from(None), Spec);
+        assert_eq!(Spec.resolve_from(Some("v3")), V3);
+        assert_eq!(V3.resolve_from(Some("SPEC")), Spec);
+        // Unrecognised values fall back to the configured parameter.
+        assert_eq!(V3.resolve_from(Some("v2")), V3);
+        assert_eq!(Spec.resolve_from(Some("")), Spec);
+    }
+
+    /// The stay-run compression legality pin: a local reference that expands
+    /// every step one pattern bit at a time — but draws and skips words in
+    /// the same windowed order — must land on the same vertex AND leave the
+    /// stream in the same position as the bit-popping production path. This
+    /// is the exactness argument of DESIGN.md §10 made executable: the
+    /// compression changes how bits are *grouped*, never which words are
+    /// drawn or what each bit decides.
+    #[test]
+    fn v3_run_compression_matches_stepwise_bit_expansion() {
+        fn stepwise_reference(
+            adjacency: &[u32],
+            delta: usize,
+            start: u32,
+            t: usize,
+            rng: &mut ChaCha8Rng,
+        ) -> u32 {
+            let mut cur = start;
+            let mut remaining = t;
+            while remaining > 0 {
+                let runnable = remaining.min(32);
+                let mut pat = rng.next_u32();
+                let mut used = 0usize;
+                // One lazy step per pattern bit, LSB first.
+                for _ in 0..runnable {
+                    let bit = pat & 1;
+                    pat >>= 1;
+                    if bit == 1 {
+                        let mut words = 0u64;
+                        let mut src = RngWords {
+                            rng,
+                            words: &mut words,
+                        };
+                        let j = lemire_u32(&mut src, delta as u32);
+                        used += words as usize;
+                        cur = adjacency[cur as usize * delta + j as usize];
+                    }
+                }
+                // Skip to the window's fixed 1 + runnable word allotment.
+                while used < runnable {
+                    rng.next_u32();
+                    used += 1;
+                }
+                remaining -= runnable;
+            }
+            cur
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let g = generators::random_regular_permutation_graph(48, 8, &mut rng);
+        let delta = g.max_degree();
+        // Includes t values straddling the 32-bit pattern-word boundary.
+        for t in [1usize, 5, 31, 32, 33, 64, 100] {
+            for v in (0..g.num_vertices()).step_by(7) {
+                let mut rng_a = ChaCha8Rng::seed_from_u64(900 + v as u64 * 131 + t as u64);
+                let mut rng_b = rng_a.clone();
+                let fast = v3_walk_endpoint(&g, v, t, &mut rng_a);
+                let slow = stepwise_reference(g.csr_adjacency(), delta, v as u32, t, &mut rng_b);
+                assert_eq!(fast, slow as usize, "endpoint diverged at v={v}, t={t}");
+                // Identical word consumption: the streams must be in the
+                // same position afterwards.
+                assert_eq!(
+                    rng_a.next_u64(),
+                    rng_b.next_u64(),
+                    "stream position diverged at v={v}, t={t}"
+                );
+            }
+        }
+    }
+
+    /// The batched v3 kernel must equal the scalar v3 path lane for lane —
+    /// this (plus the vendored lane≡single-stream test) is what makes the
+    /// group/tail split and chunk boundaries invisible in the endpoints.
+    #[test]
+    fn v3_lane_group_matches_scalar_walks_per_lane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(88);
+        let g = generators::random_regular_permutation_graph(64, 6, &mut rng);
+        let delta = g.max_degree();
+        let (t, k) = (37, 3);
+        let vertices: [u32; V3_LANES] = core::array::from_fn(|l| (2 * l) as u32);
+        let seeds: [u64; V3_LANES] = core::array::from_fn(|l| 0xC0FFEE ^ (l as u64 * 7919));
+        let mut out = vec![0usize; V3_LANES * k];
+        let mut tally = WalkTelemetry::default();
+        assert!(
+            v3_walk_lane_group(
+                g.csr_adjacency(),
+                delta,
+                t,
+                k,
+                vertices,
+                &seeds,
+                &mut out,
+                &mut tally,
+            ),
+            "allotment overflow on a fixed-seed group"
+        );
+        let mut scalar_moves = 0u64;
+        let mut scalar_words = 0u64;
+        for l in 0..V3_LANES {
+            let mut vrng = ChaCha8Rng::seed_from_u64(seeds[l]);
+            let mut src = RngWords {
+                rng: &mut vrng,
+                words: &mut scalar_words,
+            };
+            for walk in 0..k {
+                let end = v3_walk_run(
+                    g.csr_adjacency(),
+                    delta,
+                    vertices[l],
+                    t,
+                    &mut src,
+                    &mut scalar_moves,
+                );
+                assert_eq!(
+                    out[l * k + walk],
+                    end as usize,
+                    "lane {l} walk {walk} diverged from scalar"
+                );
+            }
+        }
+        assert_eq!(tally.moves, scalar_moves);
+        assert_eq!(tally.keystream_words, scalar_words);
+        assert!(tally.refills > 0, "batched path never refilled");
+    }
+
+    #[test]
+    fn v3_endpoints_match_exact_lazy_distribution() {
+        // The v3 decomposition (fair stay coin + uniform real neighbour) must
+        // realise exactly the lazy-walk distribution the spec kernel samples
+        // from the 2Δ span.
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let g = generators::cycle(12);
+        let t = 10;
+        let exact = lazy_walk_distribution(&g, 0, t);
+        let mut counts = [0f64; 12];
+        let reps = 20_000;
+        for _ in 0..reps {
+            counts[v3_walk_endpoint(&g, 0, t, &mut rng)] += 1.0;
+        }
+        let empirical: Vec<f64> = counts.iter().map(|c| c / reps as f64).collect();
+        let tvd = total_variation_distance(&empirical, &exact);
+        assert!(tvd < 0.03, "tvd between v3 empirical and exact lazy: {tvd}");
+    }
+
+    #[test]
+    fn v3_fanout_records_walk_telemetry() {
+        use wcc_mpc::walk_telemetry_snapshot;
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let g = generators::random_regular_permutation_graph(64, 6, &mut rng);
+        let (t, k) = (32usize, 2usize);
+        let before = walk_telemetry_snapshot();
+        let mut ctx = ctx_for(4 * g.num_edges());
+        independent_lazy_walks(
+            &g,
+            t,
+            k,
+            WalkMode::Direct,
+            WalkKernel::V3,
+            2,
+            &mut ctx,
+            &mut rng,
+        )
+        .unwrap();
+        let after = walk_telemetry_snapshot();
+        let min_steps = (g.num_vertices() * k * t) as u64;
+        // Counters are process-global and other tests may add concurrently,
+        // so assert only the lower bounds this fan-out must contribute.
+        assert!(after.steps >= before.steps + min_steps);
+        assert!(after.moves > before.moves);
+        assert!(after.stays_compressed > before.stays_compressed);
+        // One pattern word per 32 steps plus roughly one index word per
+        // move: well under the spec kernel's two words per step.
+        assert!(after.keystream_words > before.keystream_words);
+        assert!(after.refills > before.refills);
     }
 }

@@ -121,6 +121,77 @@ impl Graph {
         Self::from_edges(num_vertices, edges).expect("edge endpoint out of range")
     }
 
+    /// Builds the graph of the **distinct** edges of an unsorted multiset
+    /// of packed keys `(u << 32) | v` with `u <= v` (the compact data
+    /// plane's layout): one histogram + scatter buckets every key into
+    /// both endpoints' CSR rows, then each (cache-resident) row is sorted
+    /// and deduplicated in place. That replaces the global radix sort a
+    /// sort-and-dedup pipeline would pay — grouping by vertex *is* the
+    /// leading sort column — and the result is bit-identical to building
+    /// from the globally sorted, deduplicated edge list: within a row
+    /// every neighbour `< v` comes from an earlier edge-list row, so the
+    /// sorted row reproduces the append order of
+    /// [`from_edges_unchecked`], and the emitted edge list (row-major,
+    /// `w >= v` entries) is exactly the sorted distinct list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_vertices` or a key has `u > v`.
+    /// Intended for internal data planes whose keys were packed from
+    /// in-range normalised edges.
+    pub fn from_packed_edge_multiset(num_vertices: usize, packed: &[u64]) -> Self {
+        let mut degree = vec![0usize; num_vertices];
+        for &key in packed {
+            let (a, b) = ((key >> 32) as usize, (key & u64::from(u32::MAX)) as usize);
+            assert!(a <= b && b < num_vertices, "bad packed edge key");
+            degree[a] += 1;
+            if a != b {
+                degree[b] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for v in 0..num_vertices {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut rows = vec![0u32; offsets[num_vertices]];
+        for &key in packed {
+            let (a, b) = ((key >> 32) as usize, (key & u64::from(u32::MAX)) as usize);
+            rows[cursor[a]] = b as u32;
+            cursor[a] += 1;
+            if a != b {
+                rows[cursor[b]] = a as u32;
+                cursor[b] += 1;
+            }
+        }
+        // Sort + dedup each row, compacting into the final CSR and edge
+        // list in one row-major pass.
+        let mut adjacency = Vec::with_capacity(rows.len());
+        let mut edges = Vec::with_capacity(packed.len());
+        let mut final_offsets = vec![0usize; num_vertices + 1];
+        for v in 0..num_vertices {
+            let row = &mut rows[offsets[v]..offsets[v + 1]];
+            row.sort_unstable();
+            let mut prev = u64::MAX;
+            for &w in row.iter() {
+                if u64::from(w) != prev {
+                    adjacency.push(w);
+                    if w as usize >= v {
+                        edges.push((v as u32, w));
+                    }
+                    prev = u64::from(w);
+                }
+            }
+            final_offsets[v + 1] = adjacency.len();
+        }
+        Graph {
+            num_vertices,
+            edges,
+            offsets: final_offsets,
+            adjacency,
+        }
+    }
+
     fn rebuild_csr(num_vertices: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
         let mut degree = vec![0usize; num_vertices];
         for &(u, v) in edges {

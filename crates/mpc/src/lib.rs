@@ -63,6 +63,7 @@ pub mod primitives;
 mod radix;
 pub mod stats;
 pub mod stream;
+pub mod walkstats;
 
 pub use crate::cluster::{Cluster, KeyedTuple};
 pub use crate::compact::{
@@ -73,6 +74,7 @@ pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend, THREADS
 pub use crate::pool::{PoolProbe, PoolTelemetry, CHUNKS_PER_WORKER};
 pub use crate::radix::radix_sort_u64;
 pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
+pub use crate::walkstats::{record_walk_telemetry, walk_telemetry_snapshot, WalkTelemetry};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {

@@ -7,6 +7,11 @@
 //! up to `sample_size` timed samples bounded by `measurement_time`, and
 //! prints min/mean/max — enough to track the simulator's practical cost
 //! release over release without upstream's analysis machinery.
+//!
+//! Mirroring upstream, positional command-line arguments are substring
+//! filters on the full `group/id` benchmark path: `cargo bench --bench
+//! bench_pipeline -- pipeline_adaptive_e2e` runs only that group and skips
+//! everything else without printing a row. No filters means run everything.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -23,6 +28,7 @@ impl Criterion {
         println!("\ngroup: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
         }
@@ -30,7 +36,7 @@ impl Criterion {
 
     /// Benchmark a single function outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_benchmark(id, 10, Duration::from_secs(3), f);
+        run_benchmark(id, id, 10, Duration::from_secs(3), f);
         self
     }
 }
@@ -38,6 +44,7 @@ impl Criterion {
 /// A group of benchmarks sharing sampling settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     measurement_time: Duration,
 }
@@ -63,7 +70,9 @@ impl BenchmarkGroup<'_> {
 
     /// Benchmark a closure under `id`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
-        run_benchmark(&id.to_string(), self.sample_size, self.measurement_time, f);
+        let id = id.to_string();
+        let path = format!("{}/{id}", self.name);
+        run_benchmark(&path, &id, self.sample_size, self.measurement_time, f);
         self
     }
 
@@ -74,12 +83,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(
-            &id.to_string(),
-            self.sample_size,
-            self.measurement_time,
-            |b| f(b, input),
-        );
+        let id = id.to_string();
+        let path = format!("{}/{id}", self.name);
+        run_benchmark(&path, &id, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -147,12 +155,33 @@ fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
+/// Positional (non-flag) arguments act as substring filters on the full
+/// `group/id` path, as upstream criterion does. Cargo may inject flags of
+/// its own (e.g. `--bench`), so anything starting with `-` is ignored.
+fn matches_filters(path: &str) -> bool {
+    let mut any_filter = false;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            continue;
+        }
+        any_filter = true;
+        if path.contains(&arg) {
+            return true;
+        }
+    }
+    !any_filter
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
+    path: &str,
     id: &str,
     sample_size: usize,
     measurement_time: Duration,
     mut f: F,
 ) {
+    if !matches_filters(path) {
+        return;
+    }
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,

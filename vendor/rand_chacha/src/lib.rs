@@ -242,12 +242,14 @@ impl<const DOUBLE_ROUNDS: usize, const L: usize> ChaChaBatch<DOUBLE_ROUNDS, L> {
     }
 
     #[inline(always)]
-    fn advance_counters(&mut self) {
-        for l in 0..L {
-            let counter =
-                ((self.state[13][l] as u64) << 32 | self.state[12][l] as u64).wrapping_add(1);
-            self.state[12][l] = counter as u32;
-            self.state[13][l] = (counter >> 32) as u32;
+    fn advance_counters_masked(&mut self, keep: &[bool; L]) {
+        for (l, &keep_lane) in keep.iter().enumerate() {
+            if keep_lane {
+                let counter =
+                    ((self.state[13][l] as u64) << 32 | self.state[12][l] as u64).wrapping_add(1);
+                self.state[12][l] = counter as u32;
+                self.state[13][l] = (counter >> 32) as u32;
+            }
         }
     }
 
@@ -256,6 +258,17 @@ impl<const DOUBLE_ROUNDS: usize, const L: usize> ChaChaBatch<DOUBLE_ROUNDS, L> {
     /// block counter, exactly as `DOUBLE_ROUNDS` double rounds of the
     /// single-stream [`ChaChaCore::refill`] would.
     pub fn refill(&mut self, out: &mut [[u32; L]; 16]) {
+        self.refill_masked(out, &[true; L]);
+    }
+
+    /// Like [`refill`](Self::refill), but only lanes with `keep[l] == true`
+    /// advance their block counter; the other lanes' columns of `out` hold
+    /// the block they *will* produce next (same counter — the caller must
+    /// discard them), and a later refill regenerates those blocks verbatim.
+    /// This lets a buffering consumer skip lanes whose FIFO is full without
+    /// skewing any lane's word sequence: generation stays lockstep SIMD
+    /// either way, only the counter bookkeeping is per-lane.
+    pub fn refill_masked(&mut self, out: &mut [[u32; L]; 16], keep: &[bool; L]) {
         #[cfg(target_arch = "x86_64")]
         {
             // SAFETY: gated on runtime CPUID detection done at construction.
@@ -269,7 +282,128 @@ impl<const DOUBLE_ROUNDS: usize, const L: usize> ChaChaBatch<DOUBLE_ROUNDS, L> {
         }
         #[cfg(not(target_arch = "x86_64"))]
         Self::refill_rounds(&self.state, out);
-        self.advance_counters();
+        self.advance_counters_masked(keep);
+    }
+}
+
+/// `L` independent per-lane ChaCha word streams over one lockstep
+/// [`ChaChaBatch`], with a small FIFO buffer per lane.
+///
+/// [`ChaChaBatch`] alone serves consumers whose lanes draw in perfect
+/// lockstep. This type serves the harder case: lanes that consume *different
+/// numbers* of words (e.g. rejection redraws, or variable-length runs), while
+/// still paying for keystream generation in vectorised 16-blocks-at-once
+/// refills. Each [`ChaChaLanes::next_u32`] pops the next word of one lane's
+/// own stream; when a lane's buffer runs dry, one batched refill appends 16
+/// fresh words to every lane's ring that has room for a block — lanes
+/// running ahead keep their counter and catch up on a later refill
+/// ([`ChaChaBatch::refill_masked`]) — so divergence between lanes is
+/// absorbed by buffering, never by skewing any lane's sequence.
+///
+/// Lane `l`'s word sequence is bit-identical to a single-stream generator
+/// seeded with `seeds[l]` via [`SeedableRng::seed_from_u64`] — the same
+/// guarantee [`ChaChaBatch`] gives, extended to arbitrary per-lane
+/// consumption interleavings. The rings are fixed arrays (no heap): the
+/// pop path is two masked indexed reads and a decrement, cheap enough to
+/// sit inside a walk kernel's innermost loop.
+#[derive(Debug, Clone)]
+pub struct ChaChaLanes<const DOUBLE_ROUNDS: usize, const L: usize> {
+    batch: ChaChaBatch<DOUBLE_ROUNDS, L>,
+    /// Lane-major ring buffers of not-yet-consumed keystream words.
+    buf: [[u32; LANE_BUF]; L],
+    /// Per-lane logical read cursor (wraps mod 2³²; masked into `buf`).
+    head: [u32; L],
+    /// Per-lane count of buffered words.
+    len: [u32; L],
+    refills: u64,
+}
+
+/// Ring capacity of each lane's FIFO, in words: two blocks, so a refill
+/// (16 words) fits exactly when a lane holds at most one block.
+const LANE_BUF: usize = 32;
+
+/// Per-lane buffered ChaCha8 streams (the divergence-tolerant counterpart of
+/// [`ChaCha8Batch`]).
+pub type ChaCha8Lanes<const L: usize> = ChaChaLanes<4, L>;
+
+impl<const DOUBLE_ROUNDS: usize, const L: usize> ChaChaLanes<DOUBLE_ROUNDS, L> {
+    /// Seeds every lane the way [`SeedableRng::seed_from_u64`] would seed a
+    /// single-stream generator (see [`ChaChaBatch::seed_from_u64s`]).
+    pub fn seed_from_u64s(seeds: &[u64; L]) -> Self {
+        Self {
+            batch: ChaChaBatch::seed_from_u64s(seeds),
+            buf: [[0; LANE_BUF]; L],
+            head: [0; L],
+            len: [0; L],
+            refills: 0,
+        }
+    }
+
+    /// Re-seeds in place, discarding any buffered words — so one
+    /// `ChaChaLanes` can serve many lane groups back to back.
+    pub fn reseed_from_u64s(&mut self, seeds: &[u64; L]) {
+        self.batch = ChaChaBatch::seed_from_u64s(seeds);
+        self.head = [0; L];
+        self.len = [0; L];
+    }
+
+    /// Batched refills performed since construction (`reseed_from_u64s` does
+    /// not reset the counter; each refill produces `16 × L` words).
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        let mut block = [[0u32; L]; 16];
+        let keep: [bool; L] = core::array::from_fn(|l| self.len[l] as usize + 16 <= LANE_BUF);
+        self.batch.refill_masked(&mut block, &keep);
+        self.refills += 1;
+        for l in 0..L {
+            if keep[l] {
+                let tail = self.head[l].wrapping_add(self.len[l]) as usize;
+                for (w, row) in block.iter().enumerate() {
+                    self.buf[l][(tail + w) % LANE_BUF] = row[l];
+                }
+                self.len[l] += 16;
+            }
+        }
+    }
+
+    /// The next word of lane `lane`'s stream.
+    #[inline(always)]
+    pub fn next_u32(&mut self, lane: usize) -> u32 {
+        if self.len[lane] == 0 {
+            self.refill();
+        }
+        let h = self.head[lane];
+        self.head[lane] = h.wrapping_add(1);
+        self.len[lane] -= 1;
+        self.buf[lane][h as usize % LANE_BUF]
+    }
+
+    /// Pops the next `out.len()` words of lane `lane`'s stream in one go —
+    /// exactly equivalent to that many [`next_u32`](Self::next_u32) calls,
+    /// but the ring bookkeeping is paid per contiguous segment instead of
+    /// per word (at most two segment copies per buffered block). Lets a
+    /// consumer that knows a batch's draw count up front stage the words
+    /// into flat local storage.
+    #[inline]
+    pub fn fill(&mut self, lane: usize, out: &mut [u32]) {
+        let mut off = 0;
+        while off < out.len() {
+            if self.len[lane] == 0 {
+                self.refill();
+            }
+            let h = self.head[lane] as usize % LANE_BUF;
+            let take = (out.len() - off)
+                .min(self.len[lane] as usize)
+                .min(LANE_BUF - h);
+            out[off..off + take].copy_from_slice(&self.buf[lane][h..h + take]);
+            self.head[lane] = self.head[lane].wrapping_add(take as u32);
+            self.len[lane] -= take as u32;
+            off += take;
+        }
     }
 }
 
@@ -336,6 +470,59 @@ mod tests {
                         "lane {l}, refill {refill}, word {w}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_streams_match_single_streams_under_skewed_interleavings() {
+        // The buffered lanes must replay each lane's exact single-stream
+        // word sequence even when lanes are drained at wildly different
+        // rates and in scrambled orders — the property the v3 walk kernel
+        // leans on (per-lane consumption diverges with every stay run and
+        // rejection redraw).
+        const L: usize = 8;
+        let seeds: [u64; L] = core::array::from_fn(|l| 0xDEAD_BEEFu64.wrapping_mul(l as u64 + 3));
+        let mut lanes = ChaCha8Lanes::<L>::seed_from_u64s(&seeds);
+        let mut singles: Vec<ChaCha8Rng> = seeds
+            .iter()
+            .map(|&s| ChaCha8Rng::seed_from_u64(s))
+            .collect();
+        // Deterministic but skewed schedule: lane l draws (l + 1) words per
+        // sweep, sweeps visit lanes in a rotating order.
+        for sweep in 0..40usize {
+            for i in 0..L {
+                let l = (i + sweep) % L;
+                for _ in 0..=l {
+                    assert_eq!(
+                        lanes.next_u32(l),
+                        singles[l].next_u32(),
+                        "lane {l} diverged in sweep {sweep}"
+                    );
+                }
+            }
+        }
+        assert!(lanes.refills() > 0);
+    }
+
+    #[test]
+    fn lane_streams_reseed_replays_from_the_start() {
+        const L: usize = 4;
+        let seeds = [21u64, 22, 23, 24];
+        let mut lanes = ChaCha8Lanes::<L>::seed_from_u64s(&seeds);
+        // Drain lanes unevenly, then reseed with fresh seeds: every lane
+        // must restart at word 0 of its new stream, buffers notwithstanding.
+        for l in 0..L {
+            for _ in 0..(5 * l + 1) {
+                lanes.next_u32(l);
+            }
+        }
+        let seeds2 = [31u64, 32, 33, 34];
+        lanes.reseed_from_u64s(&seeds2);
+        for (l, &s) in seeds2.iter().enumerate() {
+            let mut single = ChaCha8Rng::seed_from_u64(s);
+            for w in 0..20 {
+                assert_eq!(lanes.next_u32(l), single.next_u32(), "lane {l} word {w}");
             }
         }
     }
