@@ -380,6 +380,105 @@ fn bench_stream_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The query-service building blocks behind `wcc serve` (the
+/// `serve_snapshot` group): publish cost for a quiet batch (no vertex or
+/// structure change — must be Arc-reuse, not a rebuild) vs a changed batch
+/// (full label rebuild), raw snapshot query throughput, and the wire
+/// protocol encode/decode round-trip.
+fn bench_serve_snapshot(c: &mut Criterion) {
+    use wcc_core::serve::{Request, Response, SnapshotCell, SnapshotReader};
+    use wcc_core::stream::{IncrementalComponents, StreamParams};
+
+    let mut group = c.benchmark_group("serve_snapshot");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let g = planted(1_000, 11);
+    let bootstrap: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+    let n = g.num_vertices() as u64;
+    let params = StreamParams::laptop_scale().with_lambda(0.3);
+    let mut engine = IncrementalComponents::new(params, 7);
+    engine.apply_batch(&bootstrap).unwrap();
+
+    // Quiet publish: a duplicate batch changes nothing, so `snapshot()` must
+    // reuse every Arc from the cache (asserted before timing).
+    {
+        let mut probe = engine.clone();
+        let before = probe.snapshot(1);
+        probe.apply_batch(&bootstrap[..64]).unwrap();
+        let after = probe.snapshot(2);
+        assert!(
+            after.shares_structure(&before) && after.shares_index(&before),
+            "duplicate batch should republish without rebuilding"
+        );
+    }
+    group.bench_function("publish_quiet", |b| {
+        let mut probe = engine.clone();
+        probe.apply_batch(&bootstrap[..64]).unwrap();
+        let mut epoch = 1u64;
+        b.iter(|| {
+            epoch += 1;
+            probe.snapshot(epoch)
+        })
+    });
+    group.bench_function("publish_changed", |b| {
+        let mut probe = engine.clone();
+        let mut epoch = 1u64;
+        b.iter(|| {
+            // Touching a fresh vertex dirties the index, forcing the O(n)
+            // label rebuild the quiet arm avoids.
+            probe.apply_batch(&[(0, n + epoch)]).unwrap();
+            epoch += 1;
+            probe.snapshot(epoch)
+        })
+    });
+
+    // Raw query throughput against a published snapshot, through the same
+    // reader path the server's connection handlers use.
+    let cell = SnapshotCell::new();
+    cell.publish(engine.snapshot(1));
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let queries: Vec<(u64, u64)> = (0..4096)
+        .map(|_| {
+            use rand::Rng;
+            (rng.gen_range(0..n), rng.gen_range(0..n))
+        })
+        .collect();
+    group.bench_function("snapshot_query_4096", |b| {
+        let mut reader = SnapshotReader::new(&cell);
+        b.iter(|| {
+            let snap = reader.current(&cell);
+            let mut same = 0u64;
+            for &(u, v) in &queries {
+                if snap.same_component(u, v) == Some(true) {
+                    same += 1;
+                }
+            }
+            same
+        })
+    });
+
+    // Wire protocol: encode + decode a request/response pair.
+    group.bench_function("protocol_roundtrip", |b| {
+        let mut buf = Vec::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            Request::SameComponent { u: 17, v: 42 }.encode(&mut buf);
+            let req = Request::decode(&buf[4..]).unwrap();
+            buf.clear();
+            Response::Same {
+                epoch: 9,
+                same: true,
+            }
+            .encode(&mut buf);
+            let resp = Response::decode(&buf[4..]).unwrap();
+            (req, resp)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline_vs_baselines,
@@ -387,6 +486,7 @@ criterion_group!(
     bench_adaptive_pipeline_large,
     bench_walk_kernel,
     bench_reduce_radix_vs_hashmap,
-    bench_stream_ingest
+    bench_stream_ingest,
+    bench_serve_snapshot
 );
 criterion_main!(benches);

@@ -8,6 +8,10 @@
 //!   wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]
 //!                           [--no-fast-path] [--sizes] [--json]
 //!   wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]
+//!   wcc serve <chunk-file> [--addr <host:port>] [--repeat <n>]
+//!                          [--ingest-delay-ms <ms>] [--exit-after <secs>]
+//!                          [--lambda <gap>] [--seed <u64>] [--threads <n>]
+//!                          [--no-fast-path] [--json]
 //!
 //! The edge-list format is one `u v` pair per line; `#`/`%` lines are comments.
 //! Prints the number of components, the simulated MPC rounds, and (with
@@ -29,6 +33,17 @@
 //! rounds, words and wall time are reported — in a `batches` array inside
 //! the same `--json` record the one-shot modes emit. `wcc pack` converts a
 //! text edge list into that format.
+//!
+//! `wcc serve` runs the same replay as a *live* service: it binds a TCP
+//! listener (DESIGN.md §11 documents the wire protocol; `wcc_loadgen` is
+//! the reference client), prints `LISTENING <addr>` as its first stdout
+//! line (even under `--json` — harnesses read the address there, and the
+//! JSON record is the *last* line), then ingests the schedule `--repeat`
+//! times (0 = loop until a client sends SHUTDOWN) while concurrent
+//! connections query the epoch-snapshot of the decomposition. After the
+//! last batch it keeps serving until a SHUTDOWN request or `--exit-after`
+//! seconds elapse. The `--json` record gains a `serve` object: ingest
+//! aggregates plus server telemetry with a log-bucketed latency histogram.
 //! ```
 //!
 //! Example:
@@ -59,6 +74,8 @@ enum Mode {
     Stream,
     /// Convert a text edge list into the binary chunk format.
     Pack,
+    /// Replay a batch schedule while serving component queries over TCP.
+    Serve,
 }
 
 struct Options {
@@ -82,6 +99,17 @@ struct Options {
     fast_path: bool,
     show_sizes: bool,
     json: bool,
+    /// `serve` only: listen address (`host:port`, port 0 = ephemeral).
+    addr: String,
+    /// `serve` only: ingest the schedule this many times (0 = loop until a
+    /// client requests shutdown).
+    repeat: usize,
+    /// `serve` only: sleep between batches, in milliseconds (throttles
+    /// ingestion so a schedule lasts long enough to query against).
+    ingest_delay_ms: f64,
+    /// `serve` only: exit this many seconds after ingestion finishes even
+    /// without a shutdown request (0 = wait for the request forever).
+    exit_after_s: f64,
 }
 
 /// The machine-readable record emitted by `--json`: everything the
@@ -119,8 +147,10 @@ struct JsonReport {
     /// than a model quantity). Absent for the sequential reference.
     phases: Option<Vec<PhaseStats>>,
     /// Per-batch breakdown of a `wcc stream` replay; `null` for the one-shot
-    /// modes.
+    /// modes, and capped for long `wcc serve` runs (see [`JsonServe`]).
     batches: Option<Vec<JsonBatch>>,
+    /// `wcc serve` only: ingest aggregates and server telemetry.
+    serve: Option<JsonServe>,
     /// Component size histogram (descending); `null` unless `--sizes`.
     component_sizes: Option<Vec<usize>>,
     /// Worker-pool telemetry for the whole process (cumulative dispatch,
@@ -168,6 +198,40 @@ struct JsonBatch {
     wall_time_ms: f64,
 }
 
+/// The `serve` object of a `wcc serve --json` record. When a repeated
+/// schedule produces more than [`MAX_JSON_BATCHES`] batch entries, the
+/// per-batch array is dropped from the record (`batches: null`) and only
+/// these aggregates remain.
+#[derive(Serialize)]
+struct JsonServe {
+    /// The actually bound address (real port even when 0 was requested).
+    addr: String,
+    /// Epochs published (= batches ingested).
+    epochs: u64,
+    /// Whether ingestion stopped because a client requested shutdown.
+    shutdown_requested: bool,
+    /// Ingest-side aggregates over every applied batch.
+    ingest: JsonIngest,
+    /// Server-side counters and the per-query service-time histogram.
+    server: wcc_core::serve::ServerTelemetry,
+}
+
+/// Ingest aggregates of a `wcc serve` run.
+#[derive(Serialize)]
+struct JsonIngest {
+    batches: usize,
+    fast_path: usize,
+    recomputes: usize,
+    /// Mean per-batch ingest wall time, milliseconds — the number the
+    /// ingest-slowdown-under-load experiment compares against a no-client
+    /// baseline.
+    mean_batch_ms: f64,
+    max_batch_ms: f64,
+}
+
+/// Cap on the per-batch array in a `wcc serve --json` record.
+const MAX_JSON_BATCHES: usize = 1000;
+
 impl From<&BatchReport> for JsonBatch {
     fn from(r: &BatchReport) -> Self {
         JsonBatch {
@@ -199,6 +263,10 @@ fn parse_args() -> Result<Options, String> {
         fast_path: true,
         show_sizes: false,
         json: false,
+        addr: "127.0.0.1:0".to_string(),
+        repeat: 1,
+        ingest_delay_ms: 0.0,
+        exit_after_s: 0.0,
     };
     let mut positionals_seen = 0usize;
     let mut flags_seen: Vec<&'static str> = Vec::new();
@@ -213,6 +281,10 @@ fn parse_args() -> Result<Options, String> {
             "--threads",
             "--sizes",
             "--json",
+            "--addr",
+            "--repeat",
+            "--ingest-delay-ms",
+            "--exit-after",
         ]
         .into_iter()
         .find(|f| *f == arg.as_str())
@@ -227,6 +299,40 @@ fn parse_args() -> Result<Options, String> {
             "pack" if positionals_seen == 0 => {
                 opts.mode = Mode::Pack;
                 positionals_seen += 1;
+            }
+            "serve" if positionals_seen == 0 => {
+                opts.mode = Mode::Serve;
+                positionals_seen += 1;
+            }
+            "--addr" => {
+                opts.addr = args.next().ok_or("--addr needs a value")?;
+            }
+            "--repeat" => {
+                opts.repeat = args
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?;
+            }
+            "--ingest-delay-ms" => {
+                opts.ingest_delay_ms = args
+                    .next()
+                    .ok_or("--ingest-delay-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --ingest-delay-ms: {e}"))?;
+                if !opts.ingest_delay_ms.is_finite() || opts.ingest_delay_ms < 0.0 {
+                    return Err("--ingest-delay-ms must be a finite non-negative number".into());
+                }
+            }
+            "--exit-after" => {
+                opts.exit_after_s = args
+                    .next()
+                    .ok_or("--exit-after needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --exit-after: {e}"))?;
+                if !opts.exit_after_s.is_finite() || opts.exit_after_s < 0.0 {
+                    return Err("--exit-after must be a finite non-negative number".into());
+                }
             }
             "--algorithm" => {
                 opts.algorithm = args.next().ok_or("--algorithm needs a value")?;
@@ -295,7 +401,7 @@ fn parse_args() -> Result<Options, String> {
     if opts.path.is_empty() {
         return Err(match opts.mode {
             Mode::Run => "missing <edge-list-file>".to_string(),
-            Mode::Stream => "missing <chunk-file>".to_string(),
+            Mode::Stream | Mode::Serve => "missing <chunk-file>".to_string(),
             Mode::Pack => "missing <edge-list-file> and <chunk-file>".to_string(),
         });
     }
@@ -330,6 +436,20 @@ fn parse_args() -> Result<Options, String> {
             ],
         ),
         Mode::Pack => ("wcc pack", &["--batch-size"]),
+        Mode::Serve => (
+            "wcc serve",
+            &[
+                "--addr",
+                "--repeat",
+                "--ingest-delay-ms",
+                "--exit-after",
+                "--lambda",
+                "--seed",
+                "--threads",
+                "--no-fast-path",
+                "--json",
+            ],
+        ),
     };
     if let Some(flag) = flags_seen.iter().find(|f| !applicable.contains(f)) {
         return Err(format!("{flag} is not applicable to `{mode_name}`"));
@@ -345,6 +465,9 @@ fn usage() {
          \x20      wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]\n\
          \x20          [--no-fast-path] [--sizes] [--json]\n\
          \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]\n\
+         \x20      wcc serve <chunk-file> [--addr <host:port>] [--repeat <n>]\n\
+         \x20          [--ingest-delay-ms <ms>] [--exit-after <secs>] [--lambda <gap>]\n\
+         \x20          [--seed <u64>] [--threads <n>] [--no-fast-path] [--json]\n\
          \x20\n\
          \x20      --threads <n>: worker threads for the persistent-pool backend\n\
          \x20          (1 = sequential, 0 = one worker per available CPU; without\n\
@@ -386,31 +509,36 @@ fn print_largest_sizes(sizes: &[usize]) {
 }
 
 /// `wcc pack`: text edge list → binary chunk stream (original ids are
-/// preserved verbatim, one chunk per `--batch-size` edges).
+/// preserved verbatim, one chunk per `--batch-size` edges). Fully streaming:
+/// lines are parsed through one reusable buffer and at most one batch of
+/// edges is resident at a time, so packing a 10⁸-edge input has flat RSS
+/// (the old path materialised the whole edge list *and* an interned graph
+/// before writing a single chunk).
 fn run_pack(opts: &Options) -> ExitCode {
-    let loaded = match read_edge_list_file(std::path::Path::new(&opts.path)) {
-        Ok(l) => l,
+    let input = match std::fs::File::open(&opts.path) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", opts.path);
             return ExitCode::FAILURE;
         }
     };
-    let raw_edges: Vec<(u64, u64)> = loaded
-        .graph
-        .edge_iter()
-        .map(|(u, v)| (loaded.original_ids[u], loaded.original_ids[v]))
-        .collect();
-    let chunks: Vec<&[(u64, u64)]> = raw_edges.chunks(opts.batch_size).collect();
-    if let Err(e) = write_edge_chunks_file(&chunks, std::path::Path::new(&opts.out_path)) {
-        eprintln!("error: cannot write {}: {e}", opts.out_path);
-        return ExitCode::FAILURE;
-    }
+    let output = match std::fs::File::create(&opts.out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", opts.out_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match pack_edge_list(std::io::BufReader::new(input), output, opts.batch_size) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot pack {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "packed {} edges into {} chunks of <= {} edges: {}",
-        raw_edges.len(),
-        chunks.len(),
-        opts.batch_size,
-        opts.out_path
+        summary.edges, summary.chunks, opts.batch_size, opts.out_path
     );
     ExitCode::SUCCESS
 }
@@ -477,6 +605,7 @@ fn run_stream(opts: &Options) -> ExitCode {
             wall_time_ms,
             phases: Some(stats.phases().to_vec()),
             batches: Some(reports.iter().map(JsonBatch::from).collect()),
+            serve: None,
             component_sizes: sizes,
             pool: pool_report(),
             walk: walk_report(),
@@ -514,6 +643,183 @@ fn run_stream(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `wcc serve`: ingest a batch schedule (possibly repeatedly) while a TCP
+/// server answers component queries from epoch snapshots. See the module
+/// docs for the stdout contract (`LISTENING <addr>` first, JSON record
+/// last).
+fn run_serve(opts: &Options) -> ExitCode {
+    let exec = Executor::resolve(opts.threads);
+    let batches = match wcc_mpc::stream::read_edge_chunks_file_parallel(
+        std::path::Path::new(&opts.path),
+        &exec,
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match wcc_core::serve::Server::bind(opts.addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // First stdout line, always: harnesses parse the real bound address
+    // from here (the requested port may have been 0).
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let params = StreamParams::laptop_scale()
+        .with_lambda(opts.lambda)
+        .with_fast_path(opts.fast_path)
+        .with_threads(opts.threads);
+    let mut engine = IncrementalComponents::new(params, opts.seed);
+    let started = Instant::now();
+    let mut reports: Vec<BatchReport> = Vec::new();
+    let mut epoch = 0u64;
+    let mut passes = 0usize;
+    'ingest: loop {
+        if batches.is_empty() {
+            break; // nothing to ingest; an unbounded --repeat must not spin
+        }
+        for batch in &batches {
+            if server.shutdown_requested() {
+                break 'ingest;
+            }
+            let report = match engine.apply_batch(batch) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            epoch += 1;
+            server.publish(engine.snapshot(epoch));
+            reports.push(report);
+            if opts.ingest_delay_ms > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    opts.ingest_delay_ms / 1e3,
+                ));
+            }
+        }
+        passes += 1;
+        if opts.repeat != 0 && passes >= opts.repeat {
+            break;
+        }
+    }
+    let ingest_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if !opts.json {
+        let fast = reports.iter().filter(|r| r.path.is_fast()).count();
+        println!(
+            "INGESTED {} batches ({} fast-path, {} recomputes) in {:.1} ms: \
+             {} vertices, {} edges, {} components",
+            reports.len(),
+            fast,
+            engine.recomputes(),
+            ingest_wall_ms,
+            engine.num_vertices(),
+            engine.num_edges(),
+            engine.num_components()
+        );
+        let _ = std::io::stdout().flush();
+    }
+
+    // Keep serving until a client asks us to stop (or the deadline hits).
+    let deadline = (opts.exit_after_s > 0.0)
+        .then(|| Instant::now() + std::time::Duration::from_secs_f64(opts.exit_after_s));
+    while !server.shutdown_requested() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+    let telemetry = server.telemetry();
+    let shutdown_requested = server.shutdown_requested();
+    let addr = server.local_addr().to_string();
+    if let Err(e) = server.shutdown() {
+        eprintln!("error: shutdown: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = engine.stats();
+    let fast = reports.iter().filter(|r| r.path.is_fast()).count();
+    let mean_batch_ms = if reports.is_empty() {
+        0.0
+    } else {
+        reports.iter().map(|r| r.wall_time_ms).sum::<f64>() / reports.len() as f64
+    };
+    let max_batch_ms = reports.iter().map(|r| r.wall_time_ms).fold(0.0, f64::max);
+
+    if opts.json {
+        return emit_json(&JsonReport {
+            algorithm: "serve".to_string(),
+            input: opts.path.clone(),
+            vertices: engine.num_vertices(),
+            edges: engine.num_edges(),
+            seed: opts.seed,
+            components: engine.num_components(),
+            total_rounds: Some(stats.total_rounds()),
+            communication_words: Some(stats.total_communication_words()),
+            max_machine_load_words: Some(stats.max_machine_load_words()),
+            memory_violations: Some(stats.memory_violations()),
+            tuple_width: Some(
+                TupleWidth::negotiate(engine.num_vertices())
+                    .label()
+                    .to_string(),
+            ),
+            shuffled_bytes: Some(stats.total_shuffled_bytes()),
+            wall_time_ms,
+            phases: Some(stats.phases().to_vec()),
+            batches: (reports.len() <= MAX_JSON_BATCHES)
+                .then(|| reports.iter().map(JsonBatch::from).collect()),
+            serve: Some(JsonServe {
+                addr,
+                epochs: epoch,
+                shutdown_requested,
+                ingest: JsonIngest {
+                    batches: reports.len(),
+                    fast_path: fast,
+                    recomputes: engine.recomputes(),
+                    mean_batch_ms,
+                    max_batch_ms,
+                },
+                server: telemetry,
+            }),
+            component_sizes: None,
+            pool: pool_report(),
+            walk: walk_report(),
+        });
+    }
+
+    println!(
+        "served {} queries ({} not-found) over {} connections: \
+         p50 {:.1} us, p99 {:.1} us, p999 {:.1} us",
+        telemetry.queries,
+        telemetry.not_found,
+        telemetry.connections,
+        telemetry.latency_ns.p50 as f64 / 1e3,
+        telemetry.latency_ns.p99 as f64 / 1e3,
+        telemetry.latency_ns.p999 as f64 / 1e3
+    );
+    println!(
+        "mean batch ingest {:.3} ms (max {:.3} ms), {} epochs published, shutdown {}",
+        mean_batch_ms,
+        max_batch_ms,
+        epoch,
+        if shutdown_requested {
+            "requested by client"
+        } else {
+            "by deadline"
+        }
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -529,6 +835,7 @@ fn main() -> ExitCode {
         Mode::Run => {}
         Mode::Stream => return run_stream(&opts),
         Mode::Pack => return run_pack(&opts),
+        Mode::Serve => return run_serve(&opts),
     }
     let loaded = match read_edge_list_file(std::path::Path::new(&opts.path)) {
         Ok(l) => l,
@@ -629,6 +936,7 @@ fn main() -> ExitCode {
             wall_time_ms,
             phases: stats.as_ref().map(|s| s.phases().to_vec()),
             batches: None,
+            serve: None,
             component_sizes: sizes,
             pool: pool_report(),
             walk: walk_report(),

@@ -1,0 +1,640 @@
+//! `wcc_loadgen` — load generator and checking client for `wcc serve`.
+//!
+//! ```text
+//! USAGE:
+//!   wcc_loadgen <addr> [--connections <n>] [--pipeline <depth>]
+//!               [--queries <n> | --duration-s <secs>] [--target-qps <rate>]
+//!               [--mix <same:of:size>] [--universe <max-raw-id+1>]
+//!               [--seed <u64>] [--wait-epoch <e>] [--query-file <path>]
+//!               [--check] [--shutdown] [--json]
+//! ```
+//!
+//! Two operating modes share one wire client:
+//!
+//! * **Random load** (default): `--connections` client threads each open a
+//!   TCP connection and drive pipelined windows of `--pipeline` requests —
+//!   encode a window, flush once, read the window back, measuring each
+//!   response's client-observed latency into a shared log-bucketed
+//!   histogram ([`wcc_mpc::LogHistogram`], the same type the server reports
+//!   through its STATS reply). Vertex ids are drawn uniformly from
+//!   `0..--universe`; ops are drawn from the `--mix` weights
+//!   (`same_component : component_of : component_size`, default `8:1:1`).
+//!   The run ends after `--queries` total responses (default 100 000) or
+//!   `--duration-s` seconds, whichever is specified. `--target-qps <rate>`
+//!   paces the workers (open-loop, split evenly across connections) instead
+//!   of running full throttle — the mode used to measure ingest slowdown at
+//!   a fixed offered load.
+//! * **Query file** (`--query-file`): one connection replays a fixed list
+//!   of queries, optionally checking every answer (`--check`). Lines are
+//!   `same <u> <v> [expect]`, `of <v> [expect]`, `size <c> [expect]`, with
+//!   `#` comments; `expect` is `1`/`0` for `same`, a number for `of`/`size`,
+//!   `nf` for not-found, `?` for "don't check". This is the CI smoke mode.
+//!
+//! `--wait-epoch <e>` pings until the server has published epoch `>= e`
+//! before starting (so checked answers are computed against a known prefix
+//! of the stream); `--shutdown` sends a SHUTDOWN request at the end. The
+//! report (human or `--json`) carries achieved qps, client-side latency
+//! percentiles and the server's own STATS counters.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use wcc_core::serve::{read_frame, Request, Response, StatsReply};
+use wcc_mpc::{HistogramSummary, LogHistogram};
+
+struct Options {
+    addr: String,
+    connections: usize,
+    pipeline: usize,
+    queries: u64,
+    duration_s: f64,
+    target_qps: f64,
+    mix: (u32, u32, u32),
+    universe: u64,
+    seed: u64,
+    wait_epoch: u64,
+    query_file: String,
+    check: bool,
+    shutdown: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 2,
+        pipeline: 128,
+        queries: 100_000,
+        duration_s: 0.0,
+        target_qps: 0.0,
+        mix: (8, 1, 1),
+        universe: 0,
+        seed: 7,
+        wait_epoch: 0,
+        query_file: String::new(),
+        check: false,
+        shutdown: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--connections" => {
+                opts.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+                if opts.connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--pipeline" => {
+                opts.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("bad --pipeline: {e}"))?;
+                if opts.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".into());
+                }
+            }
+            "--queries" => {
+                opts.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("bad --queries: {e}"))?;
+            }
+            "--duration-s" => {
+                opts.duration_s = value("--duration-s")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-s: {e}"))?;
+                if !opts.duration_s.is_finite() || opts.duration_s <= 0.0 {
+                    return Err("--duration-s must be a positive number".into());
+                }
+            }
+            "--target-qps" => {
+                opts.target_qps = value("--target-qps")?
+                    .parse()
+                    .map_err(|e| format!("bad --target-qps: {e}"))?;
+                if !opts.target_qps.is_finite() || opts.target_qps <= 0.0 {
+                    return Err("--target-qps must be a positive number".into());
+                }
+            }
+            "--mix" => {
+                let raw = value("--mix")?;
+                let parts: Vec<u32> = raw
+                    .split(':')
+                    .map(|p| p.parse().map_err(|e| format!("bad --mix: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 3 || parts.iter().sum::<u32>() == 0 {
+                    return Err("--mix must be three weights like 8:1:1".into());
+                }
+                opts.mix = (parts[0], parts[1], parts[2]);
+            }
+            "--universe" => {
+                opts.universe = value("--universe")?
+                    .parse()
+                    .map_err(|e| format!("bad --universe: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--wait-epoch" => {
+                opts.wait_epoch = value("--wait-epoch")?
+                    .parse()
+                    .map_err(|e| format!("bad --wait-epoch: {e}"))?;
+            }
+            "--query-file" => opts.query_file = value("--query-file")?,
+            "--check" => opts.check = true,
+            "--shutdown" => opts.shutdown = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if opts.addr.is_empty() && !other.starts_with('-') => {
+                opts.addr = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("missing <addr>".into());
+    }
+    if opts.check && opts.query_file.is_empty() {
+        return Err("--check requires --query-file".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: wcc_loadgen <addr> [--connections <n>] [--pipeline <depth>]\n\
+         \x20          [--queries <n> | --duration-s <secs>] [--target-qps <rate>]\n\
+         \x20          [--mix <same:of:size>] [--universe <max-raw-id+1>]\n\
+         \x20          [--seed <u64>] [--wait-epoch <e>] [--query-file <path>]\n\
+         \x20          [--check] [--shutdown] [--json]"
+    );
+}
+
+/// One blocking protocol connection with frame buffers.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    frame: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::with_capacity(
+            1 << 16,
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket: {e}"))?,
+        );
+        Ok(Conn {
+            reader,
+            writer: BufWriter::with_capacity(1 << 16, stream),
+            frame: Vec::new(),
+            out: Vec::new(),
+        })
+    }
+
+    fn queue(&mut self, request: Request) -> Result<(), String> {
+        self.out.clear();
+        request.encode(&mut self.out);
+        self.writer
+            .write_all(&self.out)
+            .map_err(|e| format!("write failed: {e}"))
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        self.writer
+            .flush()
+            .map_err(|e| format!("flush failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        match read_frame(&mut self.reader, &mut self.frame) {
+            Ok(Some(())) => Response::decode(&self.frame).map_err(|e| format!("bad response: {e}")),
+            Ok(None) => Err("server closed the connection".into()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, String> {
+        self.queue(request)?;
+        self.flush()?;
+        self.recv()
+    }
+}
+
+/// Pings until the published epoch reaches `target` (60 s timeout).
+fn wait_for_epoch(conn: &mut Conn, target: u64) -> Result<u64, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match conn.call(Request::Ping)? {
+            Response::Pong { epoch } if epoch >= target => return Ok(epoch),
+            Response::Pong { .. } => {}
+            other => return Err(format!("expected PONG, got {other:?}")),
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("server did not reach epoch {target} within 60 s"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A parsed `--query-file` line: the request plus the expected answer.
+enum Expect {
+    Any,
+    NotFound,
+    Same(bool),
+    Value(u64),
+}
+
+fn parse_query_file(path: &str) -> Result<Vec<(Request, Expect)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad = |what: &str| format!("{path}:{}: {what}: {line:?}", lineno + 1);
+        let num = |tok: &str| -> Result<u64, String> { tok.parse().map_err(|_| bad("bad number")) };
+        let expect = |tok: Option<&&str>, same_op: bool| -> Result<Expect, String> {
+            Ok(match tok.copied() {
+                None | Some("?") => Expect::Any,
+                Some("nf") => Expect::NotFound,
+                Some("1") if same_op => Expect::Same(true),
+                Some("0") if same_op => Expect::Same(false),
+                Some(v) if !same_op => Expect::Value(num(v)?),
+                Some(_) => return Err(bad("bad expectation")),
+            })
+        };
+        match toks.as_slice() {
+            ["same", u, v, rest @ ..] if rest.len() <= 1 => queries.push((
+                Request::SameComponent {
+                    u: num(u)?,
+                    v: num(v)?,
+                },
+                expect(rest.first(), true)?,
+            )),
+            ["of", v, rest @ ..] if rest.len() <= 1 => queries.push((
+                Request::ComponentOf { v: num(v)? },
+                expect(rest.first(), false)?,
+            )),
+            ["size", c, rest @ ..] if rest.len() <= 1 => queries.push((
+                Request::ComponentSize { c: num(c)? },
+                expect(rest.first(), false)?,
+            )),
+            _ => return Err(bad("unrecognised query")),
+        }
+    }
+    Ok(queries)
+}
+
+fn matches_expect(response: &Response, expect: &Expect) -> bool {
+    match (expect, response) {
+        (Expect::Any, _) => !matches!(response, Response::BadRequest),
+        (Expect::NotFound, Response::NotFound { .. }) => true,
+        (Expect::Same(want), Response::Same { same, .. }) => want == same,
+        (Expect::Value(want), Response::Component { component, .. }) => want == component,
+        (Expect::Value(want), Response::Size { size, .. }) => want == size,
+        _ => false,
+    }
+}
+
+/// Replays the query file over one pipelined connection; returns
+/// (responses, failures) and records latencies.
+fn run_query_file(opts: &Options, hist: &LogHistogram) -> Result<(u64, u64, u64), String> {
+    let queries = parse_query_file(&opts.query_file)?;
+    let mut conn = Conn::open(&opts.addr)?;
+    if opts.wait_epoch > 0 {
+        wait_for_epoch(&mut conn, opts.wait_epoch)?;
+    }
+    let mut failures = 0u64;
+    let mut not_found = 0u64;
+    for window in queries.chunks(opts.pipeline) {
+        let started = Instant::now();
+        for (request, _) in window {
+            conn.queue(*request)?;
+        }
+        conn.flush()?;
+        for (request, expect) in window {
+            let response = conn.recv()?;
+            hist.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if matches!(response, Response::NotFound { .. }) {
+                not_found += 1;
+            }
+            if opts.check && !matches_expect(&response, expect) {
+                failures += 1;
+                eprintln!("check failed: {request:?} -> {response:?}");
+            }
+        }
+    }
+    Ok((queries.len() as u64, not_found, failures))
+}
+
+/// One random-load worker: pipelined windows until the shared budget or the
+/// deadline runs out. Returns (responses, not_found).
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    addr: &str,
+    pipeline: usize,
+    mix: (u32, u32, u32),
+    universe: u64,
+    seed: u64,
+    budget: &AtomicU64,
+    deadline: Option<Instant>,
+    worker_qps: f64,
+    hist: &LogHistogram,
+) -> Result<(u64, u64), String> {
+    let mut conn = Conn::open(addr)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total_weight = u64::from(mix.0 + mix.1 + mix.2);
+    let mut responses = 0u64;
+    let mut not_found = 0u64;
+    let mut send_times: Vec<Instant> = Vec::with_capacity(pipeline);
+    let paced_start = Instant::now();
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        // Open-loop pacing: under --target-qps, sleep until this worker's
+        // response count falls behind the target rate again, so the load is
+        // a steady stream rather than a full-throttle saturation run.
+        if worker_qps > 0.0 {
+            let due = paced_start + Duration::from_secs_f64(responses as f64 / worker_qps);
+            let now = Instant::now();
+            if due > now {
+                let mut pause = due - now;
+                if let Some(d) = deadline {
+                    if now >= d {
+                        break;
+                    }
+                    pause = pause.min(d - now);
+                }
+                std::thread::sleep(pause);
+            }
+        }
+        // Claim a window from the shared budget (deadline mode has none).
+        let window = if deadline.is_some() {
+            pipeline as u64
+        } else {
+            let before = budget.fetch_sub(pipeline as u64, Ordering::Relaxed);
+            if before == 0 || before > u64::MAX / 2 {
+                // Exhausted (or wrapped past zero by a racing worker).
+                budget.store(0, Ordering::Relaxed);
+                break;
+            }
+            before.min(pipeline as u64)
+        };
+        send_times.clear();
+        for _ in 0..window {
+            let pick = rng.gen_range(0..total_weight);
+            let request = if pick < u64::from(mix.0) {
+                Request::SameComponent {
+                    u: rng.gen_range(0..universe),
+                    v: rng.gen_range(0..universe),
+                }
+            } else if pick < u64::from(mix.0 + mix.1) {
+                Request::ComponentOf {
+                    v: rng.gen_range(0..universe),
+                }
+            } else {
+                Request::ComponentSize {
+                    c: rng.gen_range(0..universe),
+                }
+            };
+            send_times.push(Instant::now());
+            conn.queue(request)?;
+        }
+        conn.flush()?;
+        for &sent in send_times.iter() {
+            let response = conn.recv()?;
+            hist.record(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            responses += 1;
+            if matches!(response, Response::NotFound { .. }) {
+                not_found += 1;
+            }
+        }
+    }
+    Ok((responses, not_found))
+}
+
+/// Server-side counters mirrored into the `--json` report.
+#[derive(Serialize)]
+struct JsonServerStats {
+    epoch: u64,
+    vertices: u64,
+    edges: u64,
+    components: u64,
+    batches: u64,
+    recomputes: u64,
+    queries: u64,
+    not_found: u64,
+    connections: u64,
+    latency_ns: HistogramSummary,
+}
+
+impl From<&StatsReply> for JsonServerStats {
+    fn from(stats: &StatsReply) -> Self {
+        JsonServerStats {
+            epoch: stats.epoch,
+            vertices: stats.vertices,
+            edges: stats.edges,
+            components: stats.components,
+            batches: stats.batches,
+            recomputes: stats.recomputes,
+            queries: stats.queries,
+            not_found: stats.not_found,
+            connections: stats.connections,
+            latency_ns: HistogramSummary::from_counts(&stats.latency_buckets),
+        }
+    }
+}
+
+/// The `--json` report of a loadgen run.
+#[derive(Serialize)]
+struct JsonLoadReport {
+    addr: String,
+    mode: String,
+    connections: usize,
+    pipeline: usize,
+    responses: u64,
+    not_found: u64,
+    check_failures: u64,
+    wall_time_s: f64,
+    qps: f64,
+    /// Client-observed latency (send to response arrival, pipelined), ns.
+    latency_ns: HistogramSummary,
+    p50_us: f64,
+    p99_us: f64,
+    server: Option<JsonServerStats>,
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let hist = Arc::new(LogHistogram::new());
+    let started;
+    let (responses, not_found, failures);
+    let mode;
+    if !opts.query_file.is_empty() {
+        mode = "query-file";
+        started = Instant::now();
+        let (r, nf, f) = run_query_file(opts, &hist)?;
+        (responses, not_found, failures) = (r, nf, f);
+    } else {
+        mode = "random";
+        if opts.universe == 0 {
+            return Err("random load needs --universe (max raw id + 1)".into());
+        }
+        // Wait for ingestion progress on a control connection before
+        // unleashing the workers.
+        if opts.wait_epoch > 0 {
+            let mut conn = Conn::open(&opts.addr)?;
+            wait_for_epoch(&mut conn, opts.wait_epoch)?;
+        }
+        let budget = Arc::new(AtomicU64::new(opts.queries));
+        started = Instant::now();
+        let deadline =
+            (opts.duration_s > 0.0).then(|| started + Duration::from_secs_f64(opts.duration_s));
+        let workers: Vec<_> = (0..opts.connections)
+            .map(|w| {
+                let addr = opts.addr.clone();
+                let budget = Arc::clone(&budget);
+                let hist = Arc::clone(&hist);
+                let (pipeline, mix, universe) = (opts.pipeline, opts.mix, opts.universe);
+                let seed = opts.seed.wrapping_add(w as u64);
+                let worker_qps = opts.target_qps / opts.connections as f64;
+                std::thread::spawn(move || {
+                    run_worker(
+                        &addr, pipeline, mix, universe, seed, &budget, deadline, worker_qps, &hist,
+                    )
+                })
+            })
+            .collect();
+        let mut totals = (0u64, 0u64);
+        let mut worker_error = None;
+        for worker in workers {
+            match worker.join().expect("worker panicked") {
+                Ok((r, nf)) => {
+                    totals.0 += r;
+                    totals.1 += nf;
+                }
+                Err(e) => worker_error = Some(e),
+            }
+        }
+        if let Some(e) = worker_error {
+            return Err(e);
+        }
+        (responses, not_found, failures) = (totals.0, totals.1, 0);
+    }
+    let wall_time_s = started.elapsed().as_secs_f64();
+
+    // Control tail: fetch server stats, optionally request shutdown.
+    let mut control = Conn::open(&opts.addr)?;
+    let server_stats = match control.call(Request::Stats)? {
+        Response::Stats(stats) => Some(stats),
+        other => return Err(format!("expected STATS, got {other:?}")),
+    };
+    if opts.shutdown {
+        match control.call(Request::Shutdown)? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected SHUTTING_DOWN, got {other:?}")),
+        }
+    }
+
+    let latency = hist.summary();
+    let qps = if wall_time_s > 0.0 {
+        responses as f64 / wall_time_s
+    } else {
+        0.0
+    };
+    if opts.json {
+        let report = JsonLoadReport {
+            addr: opts.addr.clone(),
+            mode: mode.to_string(),
+            connections: if mode == "random" {
+                opts.connections
+            } else {
+                1
+            },
+            pipeline: opts.pipeline,
+            responses,
+            not_found,
+            check_failures: failures,
+            wall_time_s,
+            qps,
+            p50_us: latency.p50 as f64 / 1e3,
+            p99_us: latency.p99 as f64 / 1e3,
+            latency_ns: latency,
+            server: server_stats.as_ref().map(JsonServerStats::from),
+        };
+        match serde_json::to_string(&report) {
+            Ok(line) => println!("{line}"),
+            Err(e) => return Err(format!("cannot serialize report: {e}")),
+        }
+    } else {
+        println!(
+            "{responses} responses ({not_found} not-found) in {wall_time_s:.3} s: {qps:.0} qps"
+        );
+        println!(
+            "client latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {:.1} us",
+            latency.p50 as f64 / 1e3,
+            latency.p99 as f64 / 1e3,
+            latency.p999 as f64 / 1e3,
+            latency.max as f64 / 1e3
+        );
+        if let Some(stats) = &server_stats {
+            let server_latency = HistogramSummary::from_counts(&stats.latency_buckets);
+            println!(
+                "server: epoch {}, {} vertices, {} components, {} queries answered \
+                 (service time p50 {:.1} us, p99 {:.1} us)",
+                stats.epoch,
+                stats.vertices,
+                stats.components,
+                stats.queries,
+                server_latency.p50 as f64 / 1e3,
+                server_latency.p99 as f64 / 1e3
+            );
+        }
+        if opts.check {
+            println!("check: {} passed, {failures} failed", responses - failures);
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

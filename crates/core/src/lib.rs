@@ -55,6 +55,7 @@ pub mod params;
 pub mod pipeline;
 pub mod products;
 pub mod regularize;
+pub mod serve;
 pub mod stream;
 pub mod sublinear;
 pub mod walks;
@@ -64,6 +65,7 @@ pub use crate::pipeline::{
     adaptive_components, well_connected_components, AdaptiveResult, PipelineReport, WccResult,
 };
 pub use crate::regularize::{CoreError, RegularizedGraph};
+pub use crate::serve::{ComponentSnapshot, Server, SnapshotCell, SnapshotReader};
 pub use crate::stream::{
     BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
 };
@@ -77,6 +79,7 @@ pub mod prelude {
         adaptive_components, well_connected_components, AdaptiveResult, PipelineReport, WccResult,
     };
     pub use crate::regularize::{regularize, CoreError, RegularizedGraph};
+    pub use crate::serve::{ComponentSnapshot, Server, SnapshotCell, SnapshotReader};
     pub use crate::stream::{
         BatchPath, BatchReport, IncrementalComponents, RecomputeReason, StreamParams,
     };

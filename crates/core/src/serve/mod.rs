@@ -1,0 +1,29 @@
+//! The concurrent component-query service behind `wcc serve`.
+//!
+//! This module turns the streaming engine ([`crate::stream`]) into a
+//! long-lived server: one ingest thread keeps applying `WCCS` edge batches
+//! while many TCP connections answer `same_component` / `component_of` /
+//! `component_size` / `stats` queries at 10⁵+ per second — without the
+//! readers ever blocking the union–find fast path or waiting out a
+//! Theorem-4 recompute. DESIGN.md §11 walks through the full protocol and
+//! the reasons behind it.
+//!
+//! The three layers:
+//!
+//! * [`snapshot`] — epoch-versioned immutable [`ComponentSnapshot`]s,
+//!   published through a [`SnapshotCell`] (atomic epoch + `Arc` flip) and
+//!   read through per-connection [`SnapshotReader`]s whose steady-state
+//!   cost is one `Acquire` load per query.
+//! * [`protocol`] — the length-prefixed little-endian wire format; every
+//!   answer is stamped with the epoch of the snapshot that produced it.
+//! * [`server`] — the blocking-I/O TCP front end: acceptor thread,
+//!   per-connection handlers with flush-on-idle pipelining, latency
+//!   telemetry ([`wcc_mpc::LogHistogram`]) and timeout-free shutdown.
+
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use protocol::{read_frame, ProtocolError, Request, Response, StatsReply, MAX_FRAME_LEN};
+pub use server::{Server, ServerTelemetry};
+pub use snapshot::{ComponentSnapshot, SnapshotCell, SnapshotReader};

@@ -53,11 +53,13 @@
 //! runs for every tested family, seed and thread count.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::params::Params;
 use crate::pipeline::{recommended_config, well_connected_components_with_ctx};
 use crate::regularize::CoreError;
+use crate::serve::snapshot::ComponentSnapshot;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -244,6 +246,26 @@ pub struct IncrementalComponents {
     batches_applied: usize,
     recomputes: usize,
     bootstrapped: bool,
+    /// Cached `Arc`-shared parts of the last built snapshot, so quiet
+    /// batches republish in O(1) (see [`IncrementalComponents::snapshot`]).
+    snap_cache: Option<SnapCache>,
+    /// New vertices arrived since the cache was built (forces an index
+    /// rebuild).
+    snap_vertices_dirty: bool,
+    /// The decomposition changed since the cache was built — an effective
+    /// union, a new vertex (a new singleton component), or a recompute.
+    snap_structure_dirty: bool,
+}
+
+/// The `Arc`-shared payloads of the last snapshot build — see
+/// [`IncrementalComponents::snapshot`] for the reuse contract.
+#[derive(Debug, Clone)]
+struct SnapCache {
+    index: Arc<HashMap<u64, u32>>,
+    raw_of: Arc<Vec<u64>>,
+    rep: Arc<Vec<u32>>,
+    size: Arc<Vec<u32>>,
+    num_components: usize,
 }
 
 impl IncrementalComponents {
@@ -272,6 +294,9 @@ impl IncrementalComponents {
             batches_applied: 0,
             recomputes: 0,
             bootstrapped: false,
+            snap_cache: None,
+            snap_vertices_dirty: true,
+            snap_structure_dirty: true,
         }
     }
 
@@ -342,6 +367,7 @@ impl IncrementalComponents {
                 let r = self.uf.find(ru);
                 self.oldest[r] = merged_oldest;
                 (self.cert_floor[r], self.cert_cap[r]) = inherited;
+                self.snap_structure_dirty = true;
             }
 
             // Cap check: only a touched existing vertex can newly exceed the
@@ -439,6 +465,10 @@ impl IncrementalComponents {
         let pushed = self.uf.push();
         debug_assert_eq!(pushed, id);
         *new_vertices += 1;
+        // A fresh vertex is a fresh singleton component: both the vertex
+        // index and the decomposition arrays of the next snapshot change.
+        self.snap_vertices_dirty = true;
+        self.snap_structure_dirty = true;
         Ok(id as u32)
     }
 
@@ -519,7 +549,67 @@ impl IncrementalComponents {
             self.cert_cap[r] = cap.max(max_deg[r]);
         }
         self.bootstrapped = true;
+        self.snap_structure_dirty = true;
         Ok(())
+    }
+
+    /// Builds a publishable [`ComponentSnapshot`] of the current
+    /// decomposition, stamped with `epoch` (callers use the number of
+    /// batches applied — see `wcc serve` — so epochs strictly increase).
+    ///
+    /// Publication cost is O(changed): if no batch since the last build
+    /// changed the decomposition (only duplicate edges arrived), the cached
+    /// `Arc`s are reused and this is O(1); if vertices or labels changed, the
+    /// affected arrays are rebuilt in one O(n) pass (label flattening via
+    /// union–find `find` plus a size count). The vertex index is rebuilt only
+    /// when new vertices actually arrived, so a label-only change (a merge of
+    /// existing components) still shares the index maps with the previous
+    /// snapshot.
+    pub fn snapshot(&mut self, epoch: u64) -> ComponentSnapshot {
+        let rebuild_vertices = self.snap_vertices_dirty || self.snap_cache.is_none();
+        if rebuild_vertices || self.snap_structure_dirty {
+            let n = self.original_ids.len();
+            let (index, raw_of) = if rebuild_vertices {
+                (
+                    Arc::new(self.interner.clone()),
+                    Arc::new(self.original_ids.clone()),
+                )
+            } else {
+                let cache = self.snap_cache.as_ref().expect("cache exists when clean");
+                (Arc::clone(&cache.index), Arc::clone(&cache.raw_of))
+            };
+            let mut rep = vec![0u32; n];
+            let mut size = vec![0u32; n];
+            for (v, slot) in rep.iter_mut().enumerate() {
+                // `oldest` is valid at roots; the oldest member's dense id
+                // doubles as the component's stable name.
+                *slot = self.oldest[self.uf.find(v)];
+            }
+            for &r in rep.iter() {
+                size[r as usize] += 1;
+            }
+            self.snap_cache = Some(SnapCache {
+                index,
+                raw_of,
+                rep: Arc::new(rep),
+                size: Arc::new(size),
+                num_components: self.uf.num_sets(),
+            });
+            self.snap_vertices_dirty = false;
+            self.snap_structure_dirty = false;
+        }
+        let cache = self.snap_cache.as_ref().expect("just built");
+        ComponentSnapshot::assemble(
+            epoch,
+            Arc::clone(&cache.index),
+            Arc::clone(&cache.raw_of),
+            Arc::clone(&cache.rep),
+            Arc::clone(&cache.size),
+            cache.num_components,
+            self.edges.len() as u64,
+            self.batches_applied as u64,
+            self.recomputes as u64,
+        )
     }
 
     /// The current labelling, canonicalised in dense-id (arrival) order.
@@ -782,6 +872,63 @@ mod tests {
         // Map dense labels back to the generator's vertex numbering.
         let got = engine.labels_for_universe(g.num_vertices());
         assert!(got.same_partition(&connected_components(&g)));
+    }
+
+    #[test]
+    fn snapshots_answer_queries_and_reuse_arcs_for_quiet_batches() {
+        let mut engine = IncrementalComponents::new(params(), 43);
+        let batches = expander_batches(&[50], 8, 23);
+        engine.apply_batch(&batches[0]).unwrap();
+        let s1 = engine.snapshot(1);
+        assert_eq!(s1.epoch(), 1);
+        assert_eq!(s1.num_vertices(), 50);
+        assert_eq!(s1.num_components(), 1);
+        assert_eq!(s1.same_component(0, 1), Some(true));
+        assert_eq!(s1.component_of(7), s1.component_of(0));
+        assert_eq!(s1.component_size(7), Some(50));
+        assert_eq!(s1.same_component(0, 999), None);
+        assert_eq!(s1.component_of(999), None);
+
+        // Duplicate edges leave the decomposition untouched: the snapshot is
+        // republished in O(1), sharing every array with its predecessor.
+        let dup: Vec<(u64, u64)> = batches[0][..10].to_vec();
+        engine.apply_batch(&dup).unwrap();
+        let s2 = engine.snapshot(2);
+        assert!(s2.shares_structure(&s1) && s2.shares_index(&s1));
+        assert_eq!(s2.epoch(), 2);
+        assert!(s2.num_edges() > s1.num_edges());
+
+        // A well-attached newcomer dirties both the index and the labels,
+        // but the component keeps its id (the oldest member's raw id).
+        let attach = vec![(1000u64, 0u64), (1000, 1), (1000, 2)];
+        engine.apply_batch(&attach).unwrap();
+        let s3 = engine.snapshot(3);
+        assert!(!s3.shares_structure(&s2) && !s3.shares_index(&s2));
+        assert_eq!(s3.component_of(1000), s2.component_of(0));
+        assert_eq!(s3.component_size(0), Some(51));
+    }
+
+    #[test]
+    fn merge_only_batches_rebuild_labels_but_share_the_index() {
+        let mut engine = IncrementalComponents::new(params(), 47);
+        let batches = expander_batches(&[40, 30], 8, 29);
+        engine.apply_batch(&batches[0]).unwrap();
+        engine.apply_batch(&batches[1]).unwrap();
+        let before = engine.snapshot(2);
+        assert_eq!(before.num_components(), 2);
+        assert_eq!(before.same_component(0, 40), Some(false));
+
+        // A bridge between standing components: no new vertices, so the
+        // rebuilt snapshot shares the index maps but not the label arrays,
+        // and the merged component takes the older side's id.
+        engine.apply_batch(&[(0u64, 40u64)]).unwrap();
+        let after = engine.snapshot(3);
+        assert!(after.shares_index(&before));
+        assert!(!after.shares_structure(&before));
+        assert_eq!(after.same_component(0, 40), Some(true));
+        assert_eq!(after.component_of(40), before.component_of(0));
+        assert_eq!(after.component_size(40), Some(70));
+        assert_eq!(after.num_components(), 1);
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub mod view;
 pub use crate::components::{connected_components, ComponentLabels, UnionFind};
 pub use crate::graph::{Graph, GraphBuilder, GraphError};
 pub use crate::io::{
-    decode_edge_chunk, read_chunk_frames, read_edge_chunks, read_edge_chunks_file, read_edge_list,
-    read_edge_list_file, read_edge_list_sized, write_edge_chunks, write_edge_chunks_file,
-    write_edge_list, IoError, LoadedGraph,
+    decode_edge_chunk, pack_edge_list, read_chunk_frames, read_edge_chunks, read_edge_chunks_file,
+    read_edge_list, read_edge_list_file, read_edge_list_sized, write_edge_chunks,
+    write_edge_chunks_file, write_edge_list, ChunkWriter, IoError, LoadedGraph, PackSummary,
 };
 pub use crate::partition::Partition;
 pub use crate::view::{AdjacencyView, LazyView};
@@ -50,9 +50,10 @@ pub mod prelude {
     pub use crate::generators;
     pub use crate::graph::{Graph, GraphBuilder, GraphError};
     pub use crate::io::{
-        decode_edge_chunk, read_chunk_frames, read_edge_chunks, read_edge_chunks_file,
-        read_edge_list, read_edge_list_file, read_edge_list_sized, write_edge_chunks,
-        write_edge_chunks_file, write_edge_list, IoError, LoadedGraph,
+        decode_edge_chunk, pack_edge_list, read_chunk_frames, read_edge_chunks,
+        read_edge_chunks_file, read_edge_list, read_edge_list_file, read_edge_list_sized,
+        write_edge_chunks, write_edge_chunks_file, write_edge_list, ChunkWriter, IoError,
+        LoadedGraph, PackSummary,
     };
     pub use crate::partition::Partition;
     pub use crate::spectral;

@@ -57,6 +57,7 @@ pub mod cluster;
 pub mod compact;
 pub mod config;
 pub mod executor;
+pub mod histogram;
 #[allow(unsafe_code)]
 pub mod pool;
 pub mod primitives;
@@ -71,6 +72,7 @@ pub use crate::compact::{
 };
 pub use crate::config::{MpcConfig, MpcError};
 pub use crate::executor::{derive_stream_seed, Executor, ExecutorBackend, THREADS_ENV_VAR};
+pub use crate::histogram::{HistogramSummary, LogHistogram, HISTOGRAM_BUCKETS};
 pub use crate::pool::{PoolProbe, PoolTelemetry, CHUNKS_PER_WORKER};
 pub use crate::radix::radix_sort_u64;
 pub use crate::stats::{MpcContext, PhaseStats, RoundStats, WorkerStats};
