@@ -18,7 +18,11 @@
 //!   machinery;
 //! * **stream_ingest** — the incremental engine's union-find fast path
 //!   against per-batch full recompute on a merge-free streaming batch
-//!   schedule (end labellings asserted identical before timing).
+//!   schedule (end labellings asserted identical before timing);
+//! * **dynamic_ingest** — the turnstile engine on a deletion-heavy op
+//!   schedule (rolling insert/delete window, sketch-Borůvka repairs every
+//!   batch) vs a merge-free insert-only schedule of the same batch size,
+//!   differentially checked against per-batch full recompute before timing.
 //!
 //! Wall-clock time is *not* the quantity the paper bounds (rounds are — see
 //! the `exp_*` binaries); these benchmarks exist to track the simulator's
@@ -380,6 +384,140 @@ fn bench_stream_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dynamic (turnstile) ingestion: a deletion-heavy op schedule against a
+/// merge-free insert-only schedule of the same size (the `dynamic_ingest`
+/// group recorded in `BENCH_pipeline.json`).
+///
+/// The merge-free arm is the insert-only fast path — the ~ns/edge baseline
+/// deletions must not regress (the sketch is built lazily on the first
+/// deletion, so this arm never pays for it). The deletion-heavy arm rolls a
+/// window: each batch inserts 400 fresh intra-component edges and deletes
+/// the 400 inserted by the previous batch, so every batch after the first
+/// is a structural-deletion storm that runs the sketch-Borůvka repair on
+/// the touched component. Before timing, the deletion arm is differentially
+/// checked against a fast-path-disabled reference (per-batch full
+/// recompute) on the identical schedule, and the schedule is asserted to
+/// actually exercise the sketch path.
+fn bench_dynamic_ingest(c: &mut Criterion) {
+    use wcc_core::stream::{IncrementalComponents, StreamParams};
+    use wcc_graph::io::EdgeOp;
+
+    let mut group = c.benchmark_group("dynamic_ingest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Same base workload as `stream_ingest`: two planted expander
+    // components, ~4000 edges.
+    let g = planted(1_000, 11);
+    let bootstrap: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+    let n = g.num_vertices() as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut fresh_batch = |count: usize| -> Vec<(u64, u64)> {
+        // Distinct random intra-component pairs (component 0 = 0..n/2).
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            use rand::Rng;
+            let (u, v) = (rng.gen_range(0..n / 2), rng.gen_range(0..n / 2));
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                out.push((u, v));
+            }
+        }
+        out
+    };
+
+    // Merge-free insert-only schedule: 8 batches of 400 traffic edges.
+    let insert_only: Vec<Vec<EdgeOp>> = (0..8)
+        .map(|_| {
+            fresh_batch(400)
+                .into_iter()
+                .map(|(u, v)| EdgeOp::insert(u, v))
+                .collect()
+        })
+        .collect();
+    // Deletion-heavy rolling window over the same batch size: insert 400,
+    // delete the previous batch's 400.
+    let windows: Vec<Vec<(u64, u64)>> = (0..8).map(|_| fresh_batch(400)).collect();
+    let deletion_heavy: Vec<Vec<EdgeOp>> = (0..8)
+        .map(|i| {
+            let mut ops: Vec<EdgeOp> = windows[i]
+                .iter()
+                .map(|&(u, v)| EdgeOp::insert(u, v))
+                .collect();
+            if i > 0 {
+                ops.extend(windows[i - 1].iter().map(|&(u, v)| EdgeOp::delete(u, v)));
+            }
+            ops
+        })
+        .collect();
+
+    let params = StreamParams::laptop_scale().with_lambda(0.3);
+    let mut base = IncrementalComponents::new(params, 7);
+    base.apply_batch(&bootstrap).unwrap();
+
+    // Differential check once, before any timing: the sketch-repair engine
+    // and the per-batch-recompute reference land on the same partition, the
+    // insert arm never escalates, and the deletion arm genuinely runs the
+    // sketch path.
+    {
+        let mut fast = base.clone();
+        for batch in &insert_only {
+            let r = fast.apply_ops_batch(batch).unwrap();
+            assert!(r.path.is_fast(), "schedule is not merge-free: {:?}", r.path);
+        }
+        assert!(!fast.sketch_active(), "insert-only arm must stay lazy");
+
+        let mut sketchy = base.clone();
+        for batch in &deletion_heavy {
+            sketchy.apply_ops_batch(batch).unwrap();
+        }
+        assert!(
+            sketchy.splits() + sketchy.sketch_recertifies() > 0,
+            "deletion-heavy schedule never exercised the sketch path"
+        );
+        let mut reference = IncrementalComponents::new(params.with_fast_path(false), 7);
+        reference.apply_batch(&bootstrap).unwrap();
+        for batch in &deletion_heavy {
+            reference.apply_ops_batch(batch).unwrap();
+        }
+        assert_eq!(sketchy.num_edges(), reference.num_edges());
+        assert!(
+            sketchy.labels().same_partition(&reference.labels()),
+            "sketch repair drifted from per-batch recompute"
+        );
+    }
+
+    let total_ops: usize = deletion_heavy.iter().map(Vec::len).sum();
+    group.bench_with_input(
+        BenchmarkId::new("merge_free_inserts", total_ops),
+        &insert_only,
+        |b, schedule| {
+            b.iter(|| {
+                let mut engine = base.clone();
+                for batch in schedule {
+                    engine.apply_ops_batch(batch).unwrap();
+                }
+                engine.num_components()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("deletion_heavy", total_ops),
+        &deletion_heavy,
+        |b, schedule| {
+            b.iter(|| {
+                let mut engine = base.clone();
+                for batch in schedule {
+                    engine.apply_ops_batch(batch).unwrap();
+                }
+                engine.num_components()
+            })
+        },
+    );
+    group.finish();
+}
+
 /// The query-service building blocks behind `wcc serve` (the
 /// `serve_snapshot` group): publish cost for a quiet batch (no vertex or
 /// structure change — must be Arc-reuse, not a rebuild) vs a changed batch
@@ -487,6 +625,7 @@ criterion_group!(
     bench_walk_kernel,
     bench_reduce_radix_vs_hashmap,
     bench_stream_ingest,
+    bench_dynamic_ingest,
     bench_serve_snapshot
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!                        [--threads <n>] [--sizes] [--json]
 //!   wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]
 //!                           [--no-fast-path] [--sizes] [--json]
-//!   wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]
+//!   wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>] [--ops]
 //!   wcc serve <chunk-file> [--addr <host:port>] [--repeat <n>]
 //!                          [--ingest-delay-ms <ms>] [--exit-after <secs>]
 //!                          [--lambda <gap>] [--seed <u64>] [--threads <n>]
@@ -29,10 +29,16 @@
 //! `wcc stream` replays a batch schedule in the binary chunk format (magic
 //! `WCCS`, see `wcc_graph::io`) through the incremental engine: chunks are
 //! decoded in parallel through the executor, each chunk is one batch, and
-//! the per-batch path (union-find fast path vs full pipeline recompute),
-//! rounds, words and wall time are reported — in a `batches` array inside
-//! the same `--json` record the one-shot modes emit. `wcc pack` converts a
-//! text edge list into that format.
+//! the per-batch path (union-find fast path, sketch repair, or full
+//! pipeline recompute), rounds, words and wall time are reported — in a
+//! `batches` array inside the same `--json` record the one-shot modes
+//! emit. Both format versions replay through the same reader: version-1
+//! streams decode to all-insert schedules, version-2 streams (per-record
+//! op tag) may mix insertions and turnstile deletions, with per-batch
+//! `insertions`/`deletions`/`splits`/`sketch_recertifies` counts in the
+//! record. `wcc pack` converts a text edge list into that format —
+//! version 1 by default, version 2 with `--ops` (lines may then carry a
+//! `+`/`-` op prefix; bare `u v` lines are insertions).
 //!
 //! `wcc serve` runs the same replay as a *live* service: it binds a TCP
 //! listener (DESIGN.md §11 documents the wire protocol; `wcc_loadgen` is
@@ -85,6 +91,9 @@ struct Options {
     out_path: String,
     /// `pack` only: edges per chunk.
     batch_size: usize,
+    /// `pack` only: write the op-tagged version-2 format (accepts `+`/`-`
+    /// prefixed lines) instead of the insert-only version-1 format.
+    pack_ops: bool,
     algorithm: String,
     lambda: f64,
     memory: usize,
@@ -188,9 +197,18 @@ fn walk_report() -> Option<WalkTelemetry> {
 struct JsonBatch {
     index: usize,
     edges: usize,
+    /// Insert ops in the batch (== `edges` for version-1 streams).
+    insertions: usize,
+    /// Turnstile delete ops in the batch (0 for version-1 streams).
+    deletions: usize,
     new_vertices: usize,
     standing_merges: usize,
-    /// `"fast-path"` or `"recompute:<reason>"`.
+    /// Components this batch's deletions split off via the sketch path.
+    splits: usize,
+    /// Components the sketch re-certified as still connected after a
+    /// structural deletion.
+    sketch_recertifies: usize,
+    /// `"fast-path"`, `"sketch-repair"` or `"recompute:<reason>"`.
     path: String,
     components_after: usize,
     rounds: u64,
@@ -237,8 +255,12 @@ impl From<&BatchReport> for JsonBatch {
         JsonBatch {
             index: r.batch_index,
             edges: r.edges_in_batch,
+            insertions: r.insertions,
+            deletions: r.deletions,
             new_vertices: r.new_vertices,
             standing_merges: r.standing_merges,
+            splits: r.splits,
+            sketch_recertifies: r.sketch_recertifies,
             path: r.path.label().to_string(),
             components_after: r.components_after,
             rounds: r.rounds,
@@ -255,6 +277,7 @@ fn parse_args() -> Result<Options, String> {
         path: String::new(),
         out_path: String::new(),
         batch_size: 4096,
+        pack_ops: false,
         algorithm: "wcc".to_string(),
         lambda: 0.25,
         memory: 0,
@@ -274,6 +297,7 @@ fn parse_args() -> Result<Options, String> {
         if let Some(flag) = [
             "--algorithm",
             "--batch-size",
+            "--ops",
             "--no-fast-path",
             "--lambda",
             "--memory",
@@ -347,6 +371,7 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--batch-size must be at least 1".to_string());
                 }
             }
+            "--ops" => opts.pack_ops = true,
             "--no-fast-path" => opts.fast_path = false,
             "--lambda" => {
                 opts.lambda = args
@@ -435,7 +460,7 @@ fn parse_args() -> Result<Options, String> {
                 "--json",
             ],
         ),
-        Mode::Pack => ("wcc pack", &["--batch-size"]),
+        Mode::Pack => ("wcc pack", &["--batch-size", "--ops"]),
         Mode::Serve => (
             "wcc serve",
             &[
@@ -464,7 +489,7 @@ fn usage() {
          \x20          [--threads <n>] [--sizes] [--json]\n\
          \x20      wcc stream <chunk-file> [--lambda <gap>] [--seed <u64>] [--threads <n>]\n\
          \x20          [--no-fast-path] [--sizes] [--json]\n\
-         \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>]\n\
+         \x20      wcc pack <edge-list-file> <chunk-file> [--batch-size <edges>] [--ops]\n\
          \x20      wcc serve <chunk-file> [--addr <host:port>] [--repeat <n>]\n\
          \x20          [--ingest-delay-ms <ms>] [--exit-after <secs>] [--lambda <gap>]\n\
          \x20          [--seed <u64>] [--threads <n>] [--no-fast-path] [--json]\n\
@@ -529,7 +554,12 @@ fn run_pack(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let summary = match pack_edge_list(std::io::BufReader::new(input), output, opts.batch_size) {
+    let reader = std::io::BufReader::new(input);
+    let summary = match if opts.pack_ops {
+        pack_op_list(reader, output, opts.batch_size)
+    } else {
+        pack_edge_list(reader, output, opts.batch_size)
+    } {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot pack {}: {e}", opts.path);
@@ -537,8 +567,12 @@ fn run_pack(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "packed {} edges into {} chunks of <= {} edges: {}",
-        summary.edges, summary.chunks, opts.batch_size, opts.out_path
+        "packed {} {} into {} chunks of <= {} per chunk: {}",
+        summary.edges,
+        if opts.pack_ops { "ops" } else { "edges" },
+        summary.chunks,
+        opts.batch_size,
+        opts.out_path
     );
     ExitCode::SUCCESS
 }
@@ -547,7 +581,7 @@ fn run_pack(opts: &Options) -> ExitCode {
 /// engine, reporting per-batch paths and costs.
 fn run_stream(opts: &Options) -> ExitCode {
     let exec = Executor::resolve(opts.threads);
-    let batches = match wcc_mpc::stream::read_edge_chunks_file_parallel(
+    let batches = match wcc_mpc::stream::read_op_chunks_file_parallel(
         std::path::Path::new(&opts.path),
         &exec,
     ) {
@@ -559,7 +593,7 @@ fn run_stream(opts: &Options) -> ExitCode {
     };
     if !opts.json {
         println!(
-            "loaded {}: {} batches, {} edges",
+            "loaded {}: {} batches, {} ops",
             opts.path,
             batches.len(),
             batches.iter().map(Vec::len).sum::<usize>()
@@ -572,7 +606,7 @@ fn run_stream(opts: &Options) -> ExitCode {
         .with_threads(opts.threads);
     let mut engine = IncrementalComponents::new(params, opts.seed);
     let started = Instant::now();
-    let reports = match engine.apply_schedule(&batches) {
+    let reports = match engine.apply_ops_schedule(&batches) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -614,12 +648,16 @@ fn run_stream(opts: &Options) -> ExitCode {
 
     for r in &reports {
         println!(
-            "batch {:>4}: {:>7} edges, {:>6} new vertices, {:>3} standing merges -> {:<32} \
+            "batch {:>4}: {:>7} ops ({:>7} ins, {:>6} del), {:>6} new vertices, \
+             {:>3} standing merges, {:>3} splits -> {:<32} \
              ({} rounds, {} words, {:.1} ms)",
             r.batch_index,
             r.edges_in_batch,
+            r.insertions,
+            r.deletions,
             r.new_vertices,
             r.standing_merges,
+            r.splits,
             r.path.label(),
             r.rounds,
             r.communication_words,
@@ -628,9 +666,12 @@ fn run_stream(opts: &Options) -> ExitCode {
     }
     let fast = reports.iter().filter(|r| r.path.is_fast()).count();
     println!(
-        "replayed {} batches ({} fast-path, {} recomputes): {} vertices, {} edges",
+        "replayed {} batches ({} fast-path, {} sketch splits, {} sketch recertifies, \
+         {} recomputes): {} vertices, {} edges",
         reports.len(),
         fast,
+        engine.splits(),
+        engine.sketch_recertifies(),
         engine.recomputes(),
         engine.num_vertices(),
         engine.num_edges()
@@ -649,7 +690,7 @@ fn run_stream(opts: &Options) -> ExitCode {
 /// last).
 fn run_serve(opts: &Options) -> ExitCode {
     let exec = Executor::resolve(opts.threads);
-    let batches = match wcc_mpc::stream::read_edge_chunks_file_parallel(
+    let batches = match wcc_mpc::stream::read_op_chunks_file_parallel(
         std::path::Path::new(&opts.path),
         &exec,
     ) {
@@ -689,7 +730,7 @@ fn run_serve(opts: &Options) -> ExitCode {
             if server.shutdown_requested() {
                 break 'ingest;
             }
-            let report = match engine.apply_batch(batch) {
+            let report = match engine.apply_ops_batch(batch) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -31,13 +31,14 @@
 //! component of at least [`StreamParams::certificate_min_component`] vertices
 //! is assigned a degree **cap** (`max(skew · avg + slack, current max)`)
 //! and a degree **floor** (`min(avg / skew, current min)`). Between
-//! recomputes only two kinds of vertices can cross a fixed threshold —
-//! degrees never decrease, so
+//! recomputes three kinds of vertices can cross a fixed threshold:
 //!
-//! * an *existing* vertex can only violate the **cap** (a forming hub:
-//!   parallel-edge pile-ups that skew the degree distribution), and
-//! * a *newly arrived* vertex can only violate the **floor** (a pendant
-//!   tendril: attachments too sparse to preserve almost-regularity).
+//! * an *existing* vertex can violate the **cap** on an insertion (a forming
+//!   hub: parallel-edge pile-ups that skew the degree distribution),
+//! * a *newly arrived* vertex can violate the **floor** (a pendant
+//!   tendril: attachments too sparse to preserve almost-regularity), and
+//! * a *deletion endpoint* can drop below the **floor** (erosion of a
+//!   certified component's regularity).
 //!
 //! Either violation escalates the batch to the slow path. Components built
 //! purely on the fast path since the last recompute (fresh arrivals that
@@ -45,12 +46,47 @@
 //! the next recompute certifies them — the certificate tracks *degradation
 //! of certified structure*, not absolute quality of brand-new structure.
 //!
-//! Edges are add-only (the decremental side of dynamic connectivity is a
-//! different problem class); replaying a batch schedule and then asking for
+//! ## Deletions: the turnstile sketch path
+//!
+//! The stream is *fully dynamic*: batches may carry edge deletions
+//! ([`IncrementalComponents::apply_ops_batch`], fed from version-2 `WCCS`
+//! streams). Deleting an edge can only *split* the component it lived in, so
+//! between the fast path and the full recompute sits a third, component-local
+//! path built on the paper's own AGM linear sketches (Proposition 8.1, which
+//! are turnstile by construction — a deletion is a `−1` update on the same
+//! ℓ0 samplers):
+//!
+//! * The engine lazily maintains one
+//!   [`DynamicConnectivitySketch`](wcc_sketch::DynamicConnectivitySketch)
+//!   over the live edge multiset. It is built the first time a deletion is
+//!   ever seen and updated per-op afterwards, so insert-only workloads pay
+//!   nothing for the machinery.
+//! * A deletion of the **last live copy** of an edge is *structural*: it may
+//!   have disconnected its component. At the end of the batch, each touched
+//!   component runs sketch-space Borůvka over its members only
+//!   ([`wcc_sketch::DynamicConnectivitySketch::subset_components`]). If a
+//!   phase certifies the resulting partition (every part's summed sampler is
+//!   zero — a randomness-independent test), the component is either
+//!   *re-certified* connected (one part) or *split* into its exact new
+//!   components ([`BatchPath::SketchRepair`]); splits rebuild the union–find
+//!   and mint new component ids through the usual oldest-member rule.
+//! * Only when the sketch cannot certify (sampling failure,
+//!   [`RecomputeReason::SketchUncertified`]) — or the batch independently
+//!   escalates (standing merge, certificate violation) — does the engine fall
+//!   back to the full Theorem-4 recompute.
+//!
+//! Deleting an edge that was never inserted (or already deleted) is a hard
+//! error that leaves the engine untouched — over-deletion would silently
+//! corrupt the sketch's linearity, so the batch is validated against the
+//! live multiset before any state changes.
+//!
+//! Replaying a batch schedule and then asking for
 //! [`IncrementalComponents::labels`] is guaranteed to produce the exact
-//! connected components of the accumulated graph — the differential suite in
-//! `tests/streaming_differential.rs` pins this against from-scratch pipeline
-//! runs for every tested family, seed and thread count.
+//! connected components of the surviving edge multiset — the differential
+//! suites in `tests/streaming_differential.rs` (insert-only) and
+//! `tests/dynamic_differential.rs` (insert+delete) pin this against
+//! from-scratch pipeline runs for every tested family, seed and thread
+//! count.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,8 +99,10 @@ use crate::serve::snapshot::ComponentSnapshot;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use wcc_graph::io::{EdgeOp, OpKind};
 use wcc_graph::{ComponentLabels, Graph, UnionFind};
 use wcc_mpc::{MpcConfig, MpcContext, RoundStats};
+use wcc_sketch::DynamicConnectivitySketch;
 
 /// Tunables of the streaming engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +126,11 @@ pub struct StreamParams {
     /// "no incremental maintenance" strawman the fast path is measured
     /// against.
     pub fast_path: bool,
+    /// Independent Borůvka phases of the lazily built turnstile sketch (see
+    /// the module docs). More phases raise the probability that a deletion
+    /// is absorbed by the sketch-repair path instead of escalating to a
+    /// full recompute, at `O(phases · log n)` words per vertex.
+    pub sketch_phases: usize,
 }
 
 impl StreamParams {
@@ -100,6 +143,7 @@ impl StreamParams {
             certificate_degree_slack: 8,
             certificate_min_component: 8,
             fast_path: true,
+            sketch_phases: 26,
         }
     }
 
@@ -130,6 +174,17 @@ impl StreamParams {
         self.fast_path = enabled;
         self
     }
+
+    /// Returns a copy with the given number of turnstile-sketch phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is zero.
+    pub fn with_sketch_phases(mut self, phases: usize) -> Self {
+        assert!(phases > 0, "at least one sketch phase required");
+        self.sketch_phases = phases;
+        self
+    }
 }
 
 /// Why a batch escalated to the slow path.
@@ -145,6 +200,9 @@ pub enum RecomputeReason {
     CertificateViolation,
     /// The fast path is disabled ([`StreamParams::fast_path`] is `false`).
     FastPathDisabled,
+    /// A deletion-touched component could not be re-certified by the sketch
+    /// within its phase budget (sampling failure).
+    SketchUncertified,
 }
 
 /// Which path a batch took through the engine.
@@ -152,6 +210,9 @@ pub enum RecomputeReason {
 pub enum BatchPath {
     /// Union–find label maintenance only; no pipeline work.
     FastPath,
+    /// Component-local sketch-Borůvka re-certify-or-split of the components
+    /// touched by structural deletions; no pipeline work.
+    SketchRepair,
     /// Full pipeline recompute on the accumulated graph.
     Recompute(RecomputeReason),
 }
@@ -166,6 +227,7 @@ impl BatchPath {
     pub fn label(&self) -> &'static str {
         match self {
             BatchPath::FastPath => "fast-path",
+            BatchPath::SketchRepair => "sketch-repair",
             BatchPath::Recompute(RecomputeReason::Bootstrap) => "recompute:bootstrap",
             BatchPath::Recompute(RecomputeReason::StandingMerge) => "recompute:standing-merge",
             BatchPath::Recompute(RecomputeReason::CertificateViolation) => {
@@ -173,6 +235,9 @@ impl BatchPath {
             }
             BatchPath::Recompute(RecomputeReason::FastPathDisabled) => {
                 "recompute:fast-path-disabled"
+            }
+            BatchPath::Recompute(RecomputeReason::SketchUncertified) => {
+                "recompute:sketch-uncertified"
             }
         }
     }
@@ -184,20 +249,31 @@ impl BatchPath {
 pub struct BatchReport {
     /// 0-based index of the batch in the schedule.
     pub batch_index: usize,
-    /// Edges contained in the batch (including duplicates and self-loops).
+    /// Ops contained in the batch (insertions + deletions, including
+    /// duplicates and self-loops).
     pub edges_in_batch: usize,
+    /// Edge insertions in the batch.
+    pub insertions: usize,
+    /// Edge deletions in the batch.
+    pub deletions: usize,
     /// Vertex ids seen for the first time in this batch.
     pub new_vertices: usize,
     /// Unions that joined two standing components (any non-zero count
     /// escalates).
     pub standing_merges: usize,
+    /// Components minted by sketch-repair splits in this batch (a component
+    /// splitting into `k` parts counts `k − 1`).
+    pub splits: usize,
+    /// Deletion-touched components the sketch re-certified as still
+    /// connected in this batch.
+    pub sketch_recertifies: usize,
     /// The path the batch took.
     pub path: BatchPath,
     /// Components after the batch.
     pub components_after: usize,
     /// Vertices after the batch.
     pub vertices_after: usize,
-    /// Accumulated edges after the batch.
+    /// Live (surviving) edges after the batch.
     pub edges_after: usize,
     /// Simulated MPC rounds charged by this batch (fast-path charge or the
     /// full recompute).
@@ -224,8 +300,32 @@ pub struct IncrementalComponents {
     interner: HashMap<u64, u32>,
     /// `original_ids[dense] = raw`, in order of first appearance.
     original_ids: Vec<u64>,
-    /// Accumulated dense edge list (add-only).
+    /// Accumulated dense edge list in arrival order. Slots are never
+    /// removed — a deletion clears the slot's `edge_alive` bit instead, so
+    /// the live edge *order* (what [`current_graph`] iterates) stays a pure
+    /// function of the op schedule.
+    ///
+    /// [`current_graph`]: IncrementalComponents::current_graph
     edges: Vec<(u32, u32)>,
+    /// `edge_alive[i]` — slot `i` of `edges` has not been deleted.
+    edge_alive: Vec<bool>,
+    /// Number of live slots.
+    live_edges: usize,
+    /// Live slot indices per normalized dense endpoint pair, used as a
+    /// stack: an insertion pushes its slot, a deletion pops one (most
+    /// recently inserted copy first). A deletion whose stack is empty has no
+    /// live copy to remove and is a hard error.
+    edge_slots: HashMap<(u32, u32), Vec<u32>>,
+    /// The lazily built turnstile sketch over the live edge multiset:
+    /// `None` until the first deletion ever seen, then maintained per-op.
+    sketch: Option<DynamicConnectivitySketch>,
+    /// Seed of the sketch's shared hash functions, derived once from the
+    /// engine seed so replays are deterministic.
+    sketch_seed: u64,
+    /// Cumulative components minted by sketch-repair splits.
+    splits_total: usize,
+    /// Cumulative sketch re-certifications.
+    sketch_recertifies_total: usize,
     /// Current degree of every dense vertex (self-loops count once, matching
     /// [`Graph::degree`]).
     degrees: Vec<u32>,
@@ -257,6 +357,38 @@ pub struct IncrementalComponents {
     snap_structure_dirty: bool,
 }
 
+/// A uniform, allocation-free view over the two batch encodings: legacy
+/// insert-only edge slices and signed op slices. Keeps the hot insert-only
+/// path free of per-batch op materialisation.
+#[derive(Clone, Copy)]
+enum OpsView<'a> {
+    Edges(&'a [(u64, u64)]),
+    Ops(&'a [EdgeOp]),
+}
+
+impl OpsView<'_> {
+    fn len(&self) -> usize {
+        match self {
+            OpsView::Edges(e) => e.len(),
+            OpsView::Ops(o) => o.len(),
+        }
+    }
+
+    fn has_delete(&self) -> bool {
+        match self {
+            OpsView::Edges(_) => false,
+            OpsView::Ops(o) => o.iter().any(|op| op.kind == OpKind::Delete),
+        }
+    }
+
+    fn get(&self, i: usize) -> EdgeOp {
+        match self {
+            OpsView::Edges(e) => EdgeOp::insert(e[i].0, e[i].1),
+            OpsView::Ops(o) => o[i],
+        }
+    }
+}
+
 /// The `Arc`-shared payloads of the last snapshot build — see
 /// [`IncrementalComponents::snapshot`] for the reuse contract.
 #[derive(Debug, Clone)]
@@ -284,6 +416,13 @@ impl IncrementalComponents {
             interner: HashMap::new(),
             original_ids: Vec::new(),
             edges: Vec::new(),
+            edge_alive: Vec::new(),
+            live_edges: 0,
+            edge_slots: HashMap::new(),
+            sketch: None,
+            sketch_seed: seed ^ 0xA6D1_5EED_0F57_u64,
+            splits_total: 0,
+            sketch_recertifies_total: 0,
             degrees: Vec::new(),
             uf: UnionFind::new(0),
             oldest: Vec::new(),
@@ -300,8 +439,9 @@ impl IncrementalComponents {
         }
     }
 
-    /// Applies one edge batch (raw `u64` vertex ids, as decoded from the
-    /// binary chunk format) and reports which path it took and what it cost.
+    /// Applies one insert-only edge batch (raw `u64` vertex ids, as decoded
+    /// from the version-1 binary chunk format) and reports which path it
+    /// took and what it cost.
     ///
     /// # Errors
     ///
@@ -310,80 +450,224 @@ impl IncrementalComponents {
     /// labelling itself remains correct after an error — only the
     /// certificate refresh is missed, and the next escalation retries it.
     pub fn apply_batch(&mut self, batch: &[(u64, u64)]) -> Result<BatchReport, CoreError> {
+        self.apply_ops_impl(OpsView::Edges(batch))
+    }
+
+    /// Applies one turnstile op batch (insertions and deletions on raw
+    /// vertex ids, as decoded from the version-2 binary chunk format).
+    ///
+    /// # Errors
+    ///
+    /// In addition to the [`apply_batch`](Self::apply_batch) errors, a
+    /// deletion with no live copy to remove — an edge never inserted, or
+    /// already deleted, accounting for earlier ops *in the same batch* —
+    /// returns [`CoreError::BadParams`] **before any state changes**: the
+    /// whole batch is validated against the live multiset first, so a
+    /// rejected batch leaves the engine exactly as it was.
+    pub fn apply_ops_batch(&mut self, batch: &[EdgeOp]) -> Result<BatchReport, CoreError> {
+        self.validate_deletions(batch)?;
+        self.apply_ops_impl(OpsView::Ops(batch))
+    }
+
+    /// Rejects any delete op that would over-delete: at its position in the
+    /// batch there must be a live copy of the edge, counting the batch's own
+    /// earlier inserts/deletes (prefix semantics).
+    fn validate_deletions(&self, batch: &[EdgeOp]) -> Result<(), CoreError> {
+        if !batch.iter().any(|op| op.kind == OpKind::Delete) {
+            return Ok(());
+        }
+        // Running per-pair delta over the batch prefix, on raw-id pairs.
+        let mut delta: HashMap<(u64, u64), i64> = HashMap::new();
+        for op in batch {
+            let key = (op.u.min(op.v), op.u.max(op.v));
+            match op.kind {
+                OpKind::Insert => {
+                    *delta.entry(key).or_insert(0) += 1;
+                }
+                OpKind::Delete => {
+                    let d = delta.entry(key).or_insert(0);
+                    *d -= 1;
+                    if *d < 0 {
+                        let live = self.live_copies(op.u, op.v) as i64;
+                        if live + *d < 0 {
+                            return Err(CoreError::BadParams(format!(
+                                "stream: deletion of edge ({}, {}) with no live copy \
+                                 (never inserted, or already deleted)",
+                                op.u, op.v
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Live copies of the raw edge `{a, b}` in the standing multiset.
+    fn live_copies(&self, a: u64, b: u64) -> usize {
+        let (Some(&u), Some(&v)) = (self.interner.get(&a), self.interner.get(&b)) else {
+            return 0;
+        };
+        let key = (u.min(v), u.max(v));
+        self.edge_slots.get(&key).map_or(0, Vec::len)
+    }
+
+    fn apply_ops_impl(&mut self, view: OpsView<'_>) -> Result<BatchReport, CoreError> {
         let started = Instant::now();
         let rounds_before = self.total_rounds();
         let words_before = self.total_communication_words();
         let batch_index = self.batches_applied;
         self.batches_applied += 1;
 
-        let bootstrap = !self.bootstrapped && !batch.is_empty();
+        let len = view.len();
+        let bootstrap = !self.bootstrapped && len > 0;
         let n0 = self.original_ids.len() as u32;
         let min_component = self.params.certificate_min_component;
 
         self.ctx.begin_phase("stream-ingest");
         // Fast-path cost model (Liu–Tarjan concurrent labeling): one round
-        // routing every edge to its endpoints' label holders (two words per
-        // edge), one round of merge responses (one word per edge). The slow
-        // path charges its own phases on top.
-        self.ctx.charge_shuffle(2 * batch.len());
-        self.ctx.charge_shuffle(batch.len());
-        let _ = self.ctx.record_balanced_load(2 * batch.len());
+        // routing every op to its endpoints' label holders (two words per
+        // op), one round of merge responses (one word per op). The sketch
+        // build/repair and the slow path charge their own work on top.
+        self.ctx.charge_shuffle(2 * len);
+        self.ctx.charge_shuffle(len);
+        let _ = self.ctx.record_balanced_load(2 * len);
+
+        // First deletion ever: build the turnstile sketch from the live
+        // multiset (insert-only workloads never get here). One simulated
+        // round routing every live edge to its two endpoint sketches.
+        if view.has_delete() && self.sketch.is_none() {
+            self.ctx.charge_shuffle(2 * self.live_edges);
+            let mut sk =
+                DynamicConnectivitySketch::new(self.params.sketch_phases, self.sketch_seed);
+            for _ in 0..self.original_ids.len() {
+                sk.push_vertex();
+            }
+            for (i, &(u, v)) in self.edges.iter().enumerate() {
+                if self.edge_alive[i] {
+                    sk.add_edge(u, v);
+                }
+            }
+            self.sketch = Some(sk);
+        }
 
         let mut new_vertices = 0usize;
+        let mut insertions = 0usize;
+        let mut deletions = 0usize;
         let mut standing_merges = 0usize;
         let mut cert_violated = false;
+        // Vertices whose component lost the last live copy of an edge this
+        // batch — candidates for a sketch-Borůvka re-certify-or-split.
+        let mut dirty: Vec<u32> = Vec::new();
 
-        for &(a, b) in batch {
-            let u = self.intern(a, &mut new_vertices)? as usize;
-            let v = self.intern(b, &mut new_vertices)? as usize;
-            self.edges.push((u as u32, v as u32));
-            self.degrees[u] += 1;
-            if u != v {
-                self.degrees[v] += 1;
-            }
+        for i in 0..len {
+            let op = view.get(i);
+            match op.kind {
+                OpKind::Insert => {
+                    insertions += 1;
+                    let u = self.intern(op.u, &mut new_vertices)? as usize;
+                    let v = self.intern(op.v, &mut new_vertices)? as usize;
+                    let slot = self.edges.len() as u32;
+                    self.edges.push((u as u32, v as u32));
+                    self.edge_alive.push(true);
+                    self.live_edges += 1;
+                    let key = (u.min(v) as u32, u.max(v) as u32);
+                    self.edge_slots.entry(key).or_default().push(slot);
+                    self.degrees[u] += 1;
+                    if u != v {
+                        self.degrees[v] += 1;
+                    }
+                    if let Some(sk) = &mut self.sketch {
+                        sk.add_edge(u as u32, v as u32);
+                    }
 
-            let (ru, rv) = (self.uf.find(u), self.uf.find(v));
-            if ru != rv {
-                // Classify the union *before* the roots are destroyed: a
-                // merge of two standing components escalates; otherwise the
-                // merged set inherits the certificate of its pre-batch side
-                // (if any) — the other side is necessarily brand new this
-                // batch, and its vertices are floor-checked below.
-                let standing = self.oldest[ru] < n0 && self.oldest[rv] < n0;
-                if standing {
-                    standing_merges += 1;
+                    let (ru, rv) = (self.uf.find(u), self.uf.find(v));
+                    if ru != rv {
+                        // Classify the union *before* the roots are
+                        // destroyed: a merge of two standing components
+                        // escalates; otherwise the merged set inherits the
+                        // certificate of its pre-batch side (if any) — the
+                        // other side is necessarily brand new this batch,
+                        // and its vertices are floor-checked below.
+                        let standing = self.oldest[ru] < n0 && self.oldest[rv] < n0;
+                        if standing {
+                            standing_merges += 1;
+                        }
+                        let inherited = if self.oldest[ru] < n0 && self.oldest[rv] >= n0 {
+                            (self.cert_floor[ru], self.cert_cap[ru])
+                        } else if self.oldest[rv] < n0 && self.oldest[ru] >= n0 {
+                            (self.cert_floor[rv], self.cert_cap[rv])
+                        } else {
+                            // Both new (uncertified) or both standing (the
+                            // batch escalates and the recompute refreshes
+                            // everything).
+                            UNCERTIFIED
+                        };
+                        let merged_oldest = self.oldest[ru].min(self.oldest[rv]);
+                        self.uf.union(ru, rv);
+                        let r = self.uf.find(ru);
+                        self.oldest[r] = merged_oldest;
+                        (self.cert_floor[r], self.cert_cap[r]) = inherited;
+                        self.snap_structure_dirty = true;
+                    }
+
+                    // Cap check: only a touched existing vertex can newly
+                    // exceed the fixed cap of its (certified) component.
+                    let r = self.uf.find(u);
+                    if self.uf.set_size(r) >= min_component {
+                        let cap = self.cert_cap[r];
+                        if self.degrees[u] > cap || self.degrees[v] > cap {
+                            cert_violated = true;
+                        }
+                    }
                 }
-                let inherited = if self.oldest[ru] < n0 && self.oldest[rv] >= n0 {
-                    (self.cert_floor[ru], self.cert_cap[ru])
-                } else if self.oldest[rv] < n0 && self.oldest[ru] >= n0 {
-                    (self.cert_floor[rv], self.cert_cap[rv])
-                } else {
-                    // Both new (uncertified) or both standing (the batch
-                    // escalates and the recompute refreshes everything).
-                    UNCERTIFIED
-                };
-                let merged_oldest = self.oldest[ru].min(self.oldest[rv]);
-                self.uf.union(ru, rv);
-                let r = self.uf.find(ru);
-                self.oldest[r] = merged_oldest;
-                (self.cert_floor[r], self.cert_cap[r]) = inherited;
-                self.snap_structure_dirty = true;
-            }
+                OpKind::Delete => {
+                    deletions += 1;
+                    // Both lookups succeed: `validate_deletions` guaranteed a
+                    // live copy exists at this prefix position.
+                    let u = self.interner[&op.u] as usize;
+                    let v = self.interner[&op.v] as usize;
+                    let key = (u.min(v) as u32, u.max(v) as u32);
+                    let stack = self
+                        .edge_slots
+                        .get_mut(&key)
+                        .expect("validated: live copy exists");
+                    let slot = stack.pop().expect("validated: live copy exists") as usize;
+                    let last_copy = stack.is_empty();
+                    self.edge_alive[slot] = false;
+                    self.live_edges -= 1;
+                    self.degrees[u] -= 1;
+                    if u != v {
+                        self.degrees[v] -= 1;
+                    }
+                    if let Some(sk) = &mut self.sketch {
+                        sk.remove_edge(u as u32, v as u32);
+                    }
 
-            // Cap check: only a touched existing vertex can newly exceed the
-            // fixed cap of its (certified) component.
-            let r = self.uf.find(u);
-            if self.uf.set_size(r) >= min_component {
-                let cap = self.cert_cap[r];
-                if self.degrees[u] > cap || self.degrees[v] > cap {
-                    cert_violated = true;
+                    if u != v {
+                        if last_copy {
+                            // Structural: no surviving parallel copy keeps
+                            // the endpoints adjacent, so the component may
+                            // have split.
+                            dirty.push(u as u32);
+                        }
+                        // Floor check: a deletion endpoint can erode below
+                        // the fixed floor of its certified component.
+                        let r = self.uf.find(u);
+                        if self.uf.set_size(r) >= min_component {
+                            let floor = self.cert_floor[r];
+                            if self.degrees[u] < floor || self.degrees[v] < floor {
+                                cert_violated = true;
+                            }
+                        }
+                    }
                 }
             }
         }
 
-        // Floor check: degrees never decrease, so only vertices that arrived
-        // in this batch can sit below the fixed floor of the certified
-        // component they joined.
+        // Floor check for arrivals: only vertices that arrived in this batch
+        // can sit below the fixed floor of the certified component they
+        // joined without a deletion having flagged them already.
         for v in n0 as usize..self.original_ids.len() {
             let r = self.uf.find(v);
             if self.uf.set_size(r) >= min_component && self.degrees[v] < self.cert_floor[r] {
@@ -391,17 +675,32 @@ impl IncrementalComponents {
             }
         }
 
-        let path = if bootstrap {
+        let mut splits = 0usize;
+        let mut sketch_recertifies = 0usize;
+        let mut path = if bootstrap {
             BatchPath::Recompute(RecomputeReason::Bootstrap)
-        } else if !self.params.fast_path && !batch.is_empty() {
+        } else if !self.params.fast_path && len > 0 {
             BatchPath::Recompute(RecomputeReason::FastPathDisabled)
         } else if standing_merges > 0 {
             BatchPath::Recompute(RecomputeReason::StandingMerge)
         } else if cert_violated {
             BatchPath::Recompute(RecomputeReason::CertificateViolation)
+        } else if !dirty.is_empty() {
+            BatchPath::SketchRepair
         } else {
             BatchPath::FastPath
         };
+        if path == BatchPath::SketchRepair {
+            match self.sketch_repair(&dirty) {
+                Some((s, r)) => {
+                    splits = s;
+                    sketch_recertifies = r;
+                    self.splits_total += s;
+                    self.sketch_recertifies_total += r;
+                }
+                None => path = BatchPath::Recompute(RecomputeReason::SketchUncertified),
+            }
+        }
         let outcome = if let BatchPath::Recompute(_) = path {
             self.recompute()
         } else {
@@ -415,21 +714,135 @@ impl IncrementalComponents {
 
         Ok(BatchReport {
             batch_index,
-            edges_in_batch: batch.len(),
+            edges_in_batch: len,
+            insertions,
+            deletions,
             new_vertices,
             standing_merges,
+            splits,
+            sketch_recertifies,
             path,
             components_after: self.uf.num_sets(),
             vertices_after: self.original_ids.len(),
-            edges_after: self.edges.len(),
+            edges_after: self.live_edges,
             rounds: self.total_rounds() - rounds_before,
             communication_words: self.total_communication_words() - words_before,
             wall_time_ms: started.elapsed().as_secs_f64() * 1e3,
         })
     }
 
-    /// Applies a whole batch schedule in order, returning one report per
-    /// batch.
+    /// Re-certify-or-split every component touched by a structural deletion,
+    /// entirely in sketch space. Returns `(splits, recertifies)` on success;
+    /// `None` when any touched component exhausts the sketch's phase budget
+    /// without certifying, in which case **nothing was mutated** (all
+    /// partitions are certified before any is applied) and the caller
+    /// escalates to a full recompute.
+    ///
+    /// Soundness of restricting Borůvka to one maintained component: the
+    /// maintained partition is always *over-coarse* (never splits a true
+    /// component across two maintained ones), so every edge incident to a
+    /// member stays inside the member set, which is exactly the premise
+    /// [`DynamicConnectivitySketch::subset_components`] needs.
+    ///
+    /// Cost model: per touched component, one round routing its members'
+    /// sketches to a coordinator (`members · words_per_vertex` words) and
+    /// one round broadcasting the new labels (`members` words).
+    fn sketch_repair(&mut self, dirty: &[u32]) -> Option<(usize, usize)> {
+        let n = self.original_ids.len();
+        // Deterministic component order: sorted distinct roots.
+        let mut roots: Vec<usize> = dirty.iter().map(|&v| self.uf.find(v as usize)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let mut is_dirty_root = vec![false; n];
+        let mut slot_of_root = vec![usize::MAX; n];
+        for (i, &r) in roots.iter().enumerate() {
+            is_dirty_root[r] = true;
+            slot_of_root[r] = i;
+        }
+        // One O(n) pass collects every touched component's members in
+        // ascending dense-id order.
+        let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); roots.len()];
+        for v in 0..n {
+            let r = self.uf.find(v);
+            if slot_of_root[r] != usize::MAX {
+                members_of[slot_of_root[r]].push(v as u32);
+            }
+        }
+
+        let sketch = self.sketch.as_ref().expect("repair requires the sketch");
+        let wpv = sketch.words_per_vertex();
+        // Certify every touched component before mutating anything, so an
+        // uncertified one escalates with the labelling untouched.
+        let mut partitions: Vec<Vec<Vec<u32>>> = Vec::with_capacity(roots.len());
+        for members in &members_of {
+            self.ctx.charge_shuffle(members.len() * wpv);
+            self.ctx.charge_shuffle(members.len());
+            partitions.push(sketch.subset_components(members)?.parts);
+        }
+
+        let mut splits = 0usize;
+        let mut recertifies = 0usize;
+        for parts in &partitions {
+            if parts.len() == 1 {
+                recertifies += 1;
+            } else {
+                splits += parts.len() - 1;
+            }
+        }
+        if splits > 0 {
+            // A union–find cannot split, so rebuild it: untouched components
+            // are replayed wholesale, touched ones union per certified part.
+            let mut old_root_of = vec![0usize; n];
+            for (v, slot) in old_root_of.iter_mut().enumerate() {
+                *slot = self.uf.find(v);
+            }
+            let mut uf = UnionFind::new(n);
+            for (v, &r) in old_root_of.iter().enumerate() {
+                if !is_dirty_root[r] {
+                    uf.union(r, v);
+                }
+            }
+            for parts in &partitions {
+                for part in parts {
+                    for &m in &part[1..] {
+                        uf.union(part[0] as usize, m as usize);
+                    }
+                }
+            }
+            // Carry certificates across the re-rooting: an untouched
+            // component keeps its thresholds (its membership is unchanged);
+            // a touched component loses them until the next recompute
+            // certifies its parts.
+            let mut floor = vec![UNCERTIFIED.0; n];
+            let mut cap = vec![UNCERTIFIED.1; n];
+            for (v, &or) in old_root_of.iter().enumerate() {
+                if !is_dirty_root[or] {
+                    let nr = uf.find(v);
+                    floor[nr] = self.cert_floor[or];
+                    cap[nr] = self.cert_cap[or];
+                }
+            }
+            self.uf = uf;
+            self.cert_floor = floor;
+            self.cert_cap = cap;
+            // Refresh the oldest-member tags: reset every slot, take minima
+            // over the new sets. Split-off parts mint fresh component ids
+            // through the snapshot's oldest-member rule; the part keeping
+            // the old oldest member keeps the old id.
+            for (v, slot) in self.oldest.iter_mut().enumerate() {
+                *slot = v as u32;
+            }
+            for v in 0..n {
+                let r = self.uf.find(v);
+                self.oldest[r] = self.oldest[r].min(v as u32);
+            }
+            self.snap_structure_dirty = true;
+        }
+        Some((splits, recertifies))
+    }
+
+    /// Applies a whole insert-only batch schedule in order, returning one
+    /// report per batch.
     ///
     /// # Errors
     ///
@@ -442,6 +855,22 @@ impl IncrementalComponents {
         batches
             .iter()
             .map(|batch| self.apply_batch(batch.as_ref()))
+            .collect()
+    }
+
+    /// Applies a whole op schedule in order, returning one report per batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`IncrementalComponents::apply_ops_batch`]; the first failing
+    /// batch aborts the replay.
+    pub fn apply_ops_schedule<C: AsRef<[EdgeOp]>>(
+        &mut self,
+        batches: &[C],
+    ) -> Result<Vec<BatchReport>, CoreError> {
+        batches
+            .iter()
+            .map(|batch| self.apply_ops_batch(batch.as_ref()))
             .collect()
     }
 
@@ -464,6 +893,9 @@ impl IncrementalComponents {
         self.cert_cap.push(UNCERTIFIED.1);
         let pushed = self.uf.push();
         debug_assert_eq!(pushed, id);
+        if let Some(sk) = &mut self.sketch {
+            sk.push_vertex();
+        }
         *new_vertices += 1;
         // A fresh vertex is a fresh singleton component: both the vertex
         // index and the decomposition arrays of the next snapshot change.
@@ -606,7 +1038,7 @@ impl IncrementalComponents {
             Arc::clone(&cache.rep),
             Arc::clone(&cache.size),
             cache.num_components,
-            self.edges.len() as u64,
+            self.live_edges as u64,
             self.batches_applied as u64,
             self.recomputes as u64,
         )
@@ -667,9 +1099,10 @@ impl IncrementalComponents {
         self.original_ids.len()
     }
 
-    /// Number of edges accumulated so far (duplicates and self-loops count).
+    /// Number of live (surviving) edges: inserted and not deleted.
+    /// Duplicates and self-loops count.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.live_edges
     }
 
     /// Number of batches applied so far.
@@ -682,11 +1115,33 @@ impl IncrementalComponents {
         self.recomputes
     }
 
-    /// Materialises the accumulated graph on the dense vertex set.
+    /// Cumulative components minted by sketch-repair splits.
+    pub fn splits(&self) -> usize {
+        self.splits_total
+    }
+
+    /// Cumulative deletion-touched components the sketch re-certified as
+    /// still connected.
+    pub fn sketch_recertifies(&self) -> usize {
+        self.sketch_recertifies_total
+    }
+
+    /// Whether the turnstile sketch has been built (it is lazy: `false`
+    /// until the first deletion ever seen).
+    pub fn sketch_active(&self) -> bool {
+        self.sketch.is_some()
+    }
+
+    /// Materialises the surviving (live-edge) graph on the dense vertex set,
+    /// edges in insertion order.
     pub fn current_graph(&self) -> Graph {
         Graph::from_edges_unchecked(
             self.original_ids.len(),
-            self.edges.iter().map(|&(u, v)| (u as usize, v as usize)),
+            self.edges
+                .iter()
+                .zip(self.edge_alive.iter())
+                .filter(|&(_, &alive)| alive)
+                .map(|(&(u, v), _)| (u as usize, v as usize)),
         )
     }
 
@@ -929,6 +1384,229 @@ mod tests {
         assert_eq!(after.component_of(40), before.component_of(0));
         assert_eq!(after.component_size(40), Some(70));
         assert_eq!(after.num_components(), 1);
+    }
+
+    /// All `(i, j)` pairs of a clique on raw ids `lo..hi` as insert ops.
+    fn clique_ops(lo: u64, hi: u64) -> Vec<EdgeOp> {
+        let mut ops = Vec::new();
+        for i in lo..hi {
+            for j in (i + 1)..hi {
+                ops.push(EdgeOp::insert(i, j));
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn sketch_is_lazy_and_insert_only_streams_never_build_it() {
+        let mut engine = IncrementalComponents::new(params(), 51);
+        let batches = expander_batches(&[40], 8, 33);
+        engine.apply_batch(&batches[0]).unwrap();
+        engine
+            .apply_ops_batch(&[EdgeOp::insert(0, 1), EdgeOp::insert(2, 3)])
+            .unwrap();
+        assert!(!engine.sketch_active(), "insert-only ops must stay lazy");
+        engine.apply_ops_batch(&[EdgeOp::delete(0, 1)]).unwrap();
+        assert!(engine.sketch_active(), "first deletion builds the sketch");
+    }
+
+    #[test]
+    fn non_structural_deletions_ride_the_fast_path() {
+        let mut engine = IncrementalComponents::new(params(), 53);
+        let batches = expander_batches(&[40], 8, 35);
+        engine.apply_batch(&batches[0]).unwrap();
+        // A parallel copy and a self-loop...
+        engine
+            .apply_ops_batch(&[
+                EdgeOp::insert(0, 1),
+                EdgeOp::insert(0, 1),
+                EdgeOp::insert(5, 5),
+            ])
+            .unwrap();
+        let recomputes_before = engine.recomputes();
+        // ...whose deletion leaves a surviving copy (or is a self-loop):
+        // nothing structural, no repair, no recompute.
+        let r = engine
+            .apply_ops_batch(&[EdgeOp::delete(0, 1), EdgeOp::delete(5, 5)])
+            .unwrap();
+        assert_eq!(r.path, BatchPath::FastPath);
+        assert_eq!(r.deletions, 2);
+        assert_eq!(r.splits, 0);
+        assert_eq!(r.sketch_recertifies, 0);
+        assert_eq!(engine.recomputes(), recomputes_before);
+    }
+
+    #[test]
+    fn structural_deletion_in_an_expander_recertifies_without_recompute() {
+        let mut engine = IncrementalComponents::new(params(), 57);
+        let batches = expander_batches(&[60], 8, 37);
+        engine.apply_batch(&batches[0]).unwrap();
+        let recomputes_before = engine.recomputes();
+        // Delete one expander edge with no parallel copy (so the deletion is
+        // structural): the component stays connected, the sketch certifies
+        // it, and no pipeline recompute runs.
+        let mut copies = std::collections::HashMap::new();
+        for &(a, b) in &batches[0] {
+            *copies.entry((a.min(b), a.max(b))).or_insert(0u32) += 1;
+        }
+        let (a, b) = batches[0]
+            .iter()
+            .copied()
+            .find(|&(a, b)| a != b && copies[&(a.min(b), a.max(b))] == 1)
+            .expect("expander has a non-loop simple edge");
+        let r = engine.apply_ops_batch(&[EdgeOp::delete(a, b)]).unwrap();
+        assert_eq!(r.path, BatchPath::SketchRepair);
+        assert_eq!(r.sketch_recertifies, 1);
+        assert_eq!(r.splits, 0);
+        assert_eq!(engine.recomputes(), recomputes_before);
+        assert_eq!(engine.num_components(), 1);
+        let truth = connected_components(&engine.current_graph());
+        assert!(engine.labels().same_partition(&truth));
+    }
+
+    #[test]
+    fn bridge_deletion_splits_and_mints_component_ids_by_the_oldest_member_rule() {
+        let mut engine = IncrementalComponents::new(params(), 59);
+        // Two 6-cliques joined by one bridge; raw ids are interned in
+        // ascending order so dense == raw.
+        let mut ops = clique_ops(0, 6);
+        ops.extend(clique_ops(6, 12));
+        ops.push(EdgeOp::insert(0, 6));
+        engine.apply_ops_batch(&ops).unwrap();
+        assert_eq!(engine.num_components(), 1);
+        let before = engine.snapshot(1);
+        assert_eq!(before.component_of(9), Some(0));
+
+        let recomputes_before = engine.recomputes();
+        let r = engine.apply_ops_batch(&[EdgeOp::delete(0, 6)]).unwrap();
+        assert_eq!(r.path, BatchPath::SketchRepair);
+        assert_eq!(r.splits, 1);
+        assert_eq!(r.components_after, 2);
+        assert_eq!(engine.recomputes(), recomputes_before, "no pipeline run");
+        assert_eq!(engine.splits(), 1);
+
+        // The part keeping the oldest member keeps the component id; the
+        // split-off part mints its own oldest member's raw id as a fresh id.
+        let after = engine.snapshot(2);
+        assert_eq!(after.component_of(3), Some(0));
+        assert_eq!(after.component_of(9), Some(6));
+        assert_eq!(after.component_size(0), Some(6));
+        assert_eq!(after.component_size(9), Some(6));
+        assert_eq!(after.same_component(0, 6), Some(false));
+
+        let truth = connected_components(&engine.current_graph());
+        assert!(engine.labels().same_partition(&truth));
+    }
+
+    #[test]
+    fn full_component_teardown_ends_in_singletons() {
+        let mut engine = IncrementalComponents::new(params(), 61);
+        // A 5-clique (below certificate_min_component = 8, so no floor
+        // checks interfere) torn down edge by edge.
+        let ops = clique_ops(0, 5);
+        engine.apply_ops_batch(&ops).unwrap();
+        assert_eq!(engine.num_components(), 1);
+        let recomputes_before = engine.recomputes();
+        for op in &ops {
+            let r = engine
+                .apply_ops_batch(&[EdgeOp::delete(op.u, op.v)])
+                .unwrap();
+            assert!(
+                matches!(r.path, BatchPath::SketchRepair),
+                "teardown stays on the sketch path, got {:?}",
+                r.path
+            );
+        }
+        assert_eq!(engine.recomputes(), recomputes_before);
+        assert_eq!(engine.num_components(), 5);
+        assert_eq!(engine.num_edges(), 0);
+        // Total minted components: 5 singletons out of 1 original.
+        assert_eq!(engine.splits(), 4);
+    }
+
+    #[test]
+    fn over_deletion_is_a_hard_error_that_leaves_the_engine_untouched() {
+        let mut engine = IncrementalComponents::new(params(), 63);
+        let batches = expander_batches(&[40], 8, 41);
+        engine.apply_batch(&batches[0]).unwrap();
+        let snapshot_before = engine.snapshot(1);
+        let batches_before = engine.batches_applied();
+        let edges_before = engine.num_edges();
+
+        // Never-inserted edge between seen vertices.
+        let err = engine.apply_ops_batch(&[EdgeOp::delete(0, 0)]).unwrap_err();
+        assert!(matches!(err, CoreError::BadParams(_)), "got {err:?}");
+        // Never-seen vertex.
+        assert!(engine
+            .apply_ops_batch(&[EdgeOp::delete(99_999, 0)])
+            .is_err());
+        // Double delete within one batch: the second has no live copy left.
+        let (a, b) = batches[0][0];
+        assert!(engine
+            .apply_ops_batch(&[
+                EdgeOp::delete(a, b),
+                EdgeOp::delete(a, b),
+                EdgeOp::delete(a, b)
+            ])
+            .is_err());
+        // Delete-before-insert of a brand-new edge in one batch.
+        assert!(engine
+            .apply_ops_batch(&[EdgeOp::delete(500, 501), EdgeOp::insert(500, 501)])
+            .is_err());
+
+        // Nothing was applied: batch counter, edges and labelling untouched.
+        assert_eq!(engine.batches_applied(), batches_before);
+        assert_eq!(engine.num_edges(), edges_before);
+        let after = engine.snapshot(2);
+        assert!(after.shares_structure(&snapshot_before));
+        assert!(
+            !engine.sketch_active(),
+            "rejected batches must not build the sketch"
+        );
+    }
+
+    #[test]
+    fn delete_reinsert_cycles_keep_the_labelling_exact() {
+        let mut engine = IncrementalComponents::new(params(), 67);
+        let batches = expander_batches(&[50], 8, 43);
+        engine.apply_batch(&batches[0]).unwrap();
+        let (a, b) = batches[0][3];
+        // Delete then reinsert the same edge across batches, twice.
+        for _ in 0..2 {
+            engine.apply_ops_batch(&[EdgeOp::delete(a, b)]).unwrap();
+            engine.apply_ops_batch(&[EdgeOp::insert(a, b)]).unwrap();
+        }
+        // And once within a single batch.
+        let r = engine
+            .apply_ops_batch(&[EdgeOp::delete(a, b), EdgeOp::insert(a, b)])
+            .unwrap();
+        assert_eq!(r.insertions, 1);
+        assert_eq!(r.deletions, 1);
+        assert_eq!(engine.num_edges(), batches[0].len());
+        let truth = connected_components(&engine.current_graph());
+        assert!(engine.labels().same_partition(&truth));
+    }
+
+    #[test]
+    fn deletion_heavy_replay_matches_ground_truth_on_the_surviving_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let g = generators::planted_expander_components(&[30, 25], 8, &mut rng);
+        let edges: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        let mut engine = IncrementalComponents::new(params(), 73);
+        engine.apply_batch(&edges).unwrap();
+        // Delete a third of the edges (every third one), batched.
+        let doomed: Vec<EdgeOp> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, &(u, v))| EdgeOp::delete(u, v))
+            .collect();
+        for chunk in doomed.chunks(11) {
+            engine.apply_ops_batch(chunk).unwrap();
+        }
+        assert_eq!(engine.num_edges(), edges.len() - doomed.len());
+        let truth = connected_components(&engine.current_graph());
+        assert!(engine.labels().same_partition(&truth));
     }
 
     #[test]

@@ -22,12 +22,31 @@
 //! payload:= (src u64 | dst u64)*               (payload_len / 16 edges)
 //! ```
 //!
+//! **Version 2** makes the stream *turnstile*: every record carries a 1-byte
+//! op tag ahead of the endpoints, so a chunk can mix edge insertions and
+//! deletions:
+//!
+//! ```text
+//! file   := magic "WCCS" | version=2 u32 | chunk*
+//! chunk  := payload_len u64 | payload          (payload_len in bytes)
+//! payload:= (op u8 | src u64 | dst u64)*       (payload_len / 17 records)
+//! op     := 0 (insert) | 1 (delete)            (anything else is Corrupt)
+//! ```
+//!
+//! The op-aware readers ([`read_op_chunk_frames`], [`decode_op_chunk`],
+//! [`read_op_chunks`]) accept *both* versions — a version-1 stream decodes as
+//! all-insert ops, bit for bit the same edges the version-1 reader returns —
+//! while the version-1 readers ([`read_chunk_frames`] and friends) keep
+//! rejecting version 2, so existing consumers cannot silently misread signed
+//! streams as insert-only.
+//!
 //! Vertex ids are raw `u64`s (not remapped); a clean EOF is only legal at a
 //! chunk boundary. Malformed input — wrong magic, a payload length that is
-//! not a multiple of 16, a stream that ends mid-header or mid-payload —
-//! returns an [`IoError`] instead of panicking, and a corrupt header cannot
-//! trigger an over-allocation (payloads are read through a bounded reader,
-//! never pre-allocated at the advertised length).
+//! not a multiple of the record size, an op tag outside `{0, 1}`, a stream
+//! that ends mid-header or mid-payload — returns an [`IoError`] instead of
+//! panicking, and a corrupt header cannot trigger an over-allocation
+//! (payloads are read through a bounded reader, never pre-allocated at the
+//! advertised length).
 
 use std::io::{BufRead, BufWriter, Read, Write};
 
@@ -36,11 +55,74 @@ use crate::graph::{Graph, GraphBuilder};
 /// Magic bytes opening a binary chunk stream.
 pub const CHUNK_MAGIC: [u8; 4] = *b"WCCS";
 
-/// Version written by (and the only one accepted by) this reader/writer.
+/// Version written by (and the only one accepted by) the insert-only
+/// reader/writer pair.
 pub const CHUNK_FORMAT_VERSION: u32 = 1;
+
+/// The turnstile format version: every record carries a 1-byte op tag.
+/// Written by the op writers; the op readers accept versions 1 and 2.
+pub const CHUNK_FORMAT_VERSION_V2: u32 = 2;
 
 /// Bytes of one encoded edge: two little-endian `u64` endpoints.
 pub const CHUNK_BYTES_PER_EDGE: usize = 16;
+
+/// Bytes of one version-2 record: op tag + two little-endian `u64` endpoints.
+pub const CHUNK_BYTES_PER_OP: usize = 17;
+
+/// Version-2 op tag for an edge insertion.
+pub const OP_TAG_INSERT: u8 = 0;
+
+/// Version-2 op tag for an edge deletion.
+pub const OP_TAG_DELETE: u8 = 1;
+
+/// The kind of a turnstile stream operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Insert one copy of the edge.
+    Insert,
+    /// Delete one previously inserted copy of the edge.
+    Delete,
+}
+
+/// One record of a version-2 (turnstile) chunk stream: a signed edge update
+/// on raw (un-remapped) vertex ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeOp {
+    /// Insert or delete.
+    pub kind: OpKind,
+    /// First endpoint, raw id.
+    pub u: u64,
+    /// Second endpoint, raw id.
+    pub v: u64,
+}
+
+impl EdgeOp {
+    /// An insertion of edge `{u, v}`.
+    pub fn insert(u: u64, v: u64) -> Self {
+        EdgeOp {
+            kind: OpKind::Insert,
+            u,
+            v,
+        }
+    }
+
+    /// A deletion of edge `{u, v}`.
+    pub fn delete(u: u64, v: u64) -> Self {
+        EdgeOp {
+            kind: OpKind::Delete,
+            u,
+            v,
+        }
+    }
+
+    /// The wire tag of this op's kind.
+    pub fn tag(&self) -> u8 {
+        match self.kind {
+            OpKind::Insert => OP_TAG_INSERT,
+            OpKind::Delete => OP_TAG_DELETE,
+        }
+    }
+}
 
 /// Errors returned by the edge-list readers (text and binary).
 #[derive(Debug)]
@@ -91,11 +173,7 @@ impl std::fmt::Display for IoError {
             }
             IoError::BadMagic => write!(f, "not a WCCS binary chunk stream (bad magic)"),
             IoError::UnsupportedVersion { version } => {
-                write!(
-                    f,
-                    "unsupported chunk format version {version} (this reader understands \
-                     {CHUNK_FORMAT_VERSION})"
-                )
+                write!(f, "unsupported chunk format version {version}")
             }
             IoError::Truncated {
                 chunk,
@@ -427,7 +505,26 @@ pub fn pack_edge_list<R: BufRead, W: Write>(
 /// header, [`IoError::Truncated`] when the stream ends mid-header or
 /// mid-payload, [`IoError::Corrupt`] for a payload length that is not a whole
 /// number of edges, and [`IoError::Io`] for underlying read failures.
-pub fn read_chunk_frames<R: Read>(mut reader: R) -> Result<Vec<Vec<u8>>, IoError> {
+pub fn read_chunk_frames<R: Read>(reader: R) -> Result<Vec<Vec<u8>>, IoError> {
+    read_frames_impl(reader, &[CHUNK_FORMAT_VERSION]).map(|(_, frames)| frames)
+}
+
+/// Record size (in bytes) of each accepted format version.
+fn record_bytes_for(version: u32) -> usize {
+    match version {
+        CHUNK_FORMAT_VERSION => CHUNK_BYTES_PER_EDGE,
+        CHUNK_FORMAT_VERSION_V2 => CHUNK_BYTES_PER_OP,
+        other => unreachable!("version {other} filtered by the accept list"),
+    }
+}
+
+/// The shared framing reader: validates the header against `accepted`
+/// versions and splits the stream into payload buffers, checking each
+/// advertised length against the version's record size.
+fn read_frames_impl<R: Read>(
+    mut reader: R,
+    accepted: &[u32],
+) -> Result<(u32, Vec<Vec<u8>>), IoError> {
     let mut header = [0u8; 8];
     let got = read_up_to(&mut reader, &mut header)?;
     if got < header.len() {
@@ -441,9 +538,10 @@ pub fn read_chunk_frames<R: Read>(mut reader: R) -> Result<Vec<Vec<u8>>, IoError
         return Err(IoError::BadMagic);
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if version != CHUNK_FORMAT_VERSION {
+    if !accepted.contains(&version) {
         return Err(IoError::UnsupportedVersion { version });
     }
+    let record_bytes = record_bytes_for(version);
 
     let mut frames: Vec<Vec<u8>> = Vec::new();
     loop {
@@ -460,12 +558,10 @@ pub fn read_chunk_frames<R: Read>(mut reader: R) -> Result<Vec<Vec<u8>>, IoError
             });
         }
         let payload_len = u64::from_le_bytes(len_buf);
-        if !payload_len.is_multiple_of(CHUNK_BYTES_PER_EDGE as u64) {
+        if !payload_len.is_multiple_of(record_bytes as u64) {
             return Err(IoError::Corrupt {
                 chunk: frames.len(),
-                reason: format!(
-                    "payload length {payload_len} is not a multiple of {CHUNK_BYTES_PER_EDGE}"
-                ),
+                reason: format!("payload length {payload_len} is not a multiple of {record_bytes}"),
             });
         }
         // Read through a bounded reader instead of pre-allocating
@@ -482,7 +578,21 @@ pub fn read_chunk_frames<R: Read>(mut reader: R) -> Result<Vec<Vec<u8>>, IoError
         }
         frames.push(payload);
     }
-    Ok(frames)
+    Ok((version, frames))
+}
+
+/// Reads the framing of a turnstile (or legacy insert-only) chunk stream:
+/// accepts format versions 1 and 2, returning the version alongside the
+/// per-chunk payload buffers so callers can hand each `(version, payload)`
+/// pair to [`decode_op_chunk`] — in parallel if they like.
+///
+/// # Errors
+///
+/// Same classes as [`read_chunk_frames`]; the multiple-of check uses the
+/// version's record size ([`CHUNK_BYTES_PER_EDGE`] for version 1,
+/// [`CHUNK_BYTES_PER_OP`] for version 2).
+pub fn read_op_chunk_frames<R: Read>(reader: R) -> Result<(u32, Vec<Vec<u8>>), IoError> {
+    read_frames_impl(reader, &[CHUNK_FORMAT_VERSION, CHUNK_FORMAT_VERSION_V2])
 }
 
 /// Decodes one chunk payload (as framed by [`read_chunk_frames`]) into its
@@ -535,6 +645,252 @@ pub fn read_edge_chunks<R: Read>(reader: R) -> Result<Vec<Vec<(u64, u64)>>, IoEr
 /// See [`read_edge_chunks`].
 pub fn read_edge_chunks_file(path: &std::path::Path) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
     read_edge_chunks(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Decodes one chunk payload (as framed by [`read_op_chunk_frames`]) into its
+/// op list. Pure function of `(version, bytes)` — safe to fan out over chunks
+/// in parallel. A version-1 payload decodes to all-insert ops carrying
+/// exactly the edges [`decode_edge_chunk`] would return; a version-2 payload
+/// is 17-byte records whose op tag must be [`OP_TAG_INSERT`] or
+/// [`OP_TAG_DELETE`]. `chunk` is the chunk's index, used only for error
+/// reporting.
+///
+/// # Errors
+///
+/// [`IoError::Corrupt`] if the payload is not a whole number of records, the
+/// version is not 1 or 2, or a record carries an unknown op tag.
+pub fn decode_op_chunk(version: u32, chunk: usize, payload: &[u8]) -> Result<Vec<EdgeOp>, IoError> {
+    match version {
+        CHUNK_FORMAT_VERSION => Ok(decode_edge_chunk(chunk, payload)?
+            .into_iter()
+            .map(|(u, v)| EdgeOp::insert(u, v))
+            .collect()),
+        CHUNK_FORMAT_VERSION_V2 => {
+            if !payload.len().is_multiple_of(CHUNK_BYTES_PER_OP) {
+                return Err(IoError::Corrupt {
+                    chunk,
+                    reason: format!(
+                        "payload of {} bytes is not a multiple of {CHUNK_BYTES_PER_OP}",
+                        payload.len()
+                    ),
+                });
+            }
+            let mut ops = Vec::with_capacity(payload.len() / CHUNK_BYTES_PER_OP);
+            for (record, bytes) in payload.chunks_exact(CHUNK_BYTES_PER_OP).enumerate() {
+                let kind = match bytes[0] {
+                    OP_TAG_INSERT => OpKind::Insert,
+                    OP_TAG_DELETE => OpKind::Delete,
+                    tag => {
+                        return Err(IoError::Corrupt {
+                            chunk,
+                            reason: format!("unknown op tag {tag} in record {record}"),
+                        })
+                    }
+                };
+                let u = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+                let v = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+                ops.push(EdgeOp { kind, u, v });
+            }
+            Ok(ops)
+        }
+        other => Err(IoError::Corrupt {
+            chunk,
+            reason: format!("cannot decode ops for format version {other}"),
+        }),
+    }
+}
+
+/// Writes a sequence of op batches as a version-2 binary chunk stream. One
+/// chunk per batch; vertex ids are written raw.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_op_chunks<W: Write, C: AsRef<[EdgeOp]>>(
+    chunks: &[C],
+    writer: W,
+) -> std::io::Result<()> {
+    let mut out = OpChunkWriter::new(writer)?;
+    for chunk in chunks {
+        out.write_chunk(chunk.as_ref())?;
+    }
+    out.finish().map(|_| ())
+}
+
+/// Writes a version-2 binary chunk stream to a file path.
+///
+/// # Errors
+///
+/// See [`write_op_chunks`].
+pub fn write_op_chunks_file<C: AsRef<[EdgeOp]>>(
+    chunks: &[C],
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    write_op_chunks(chunks, std::fs::File::create(path)?)
+}
+
+/// Incremental writer for the version-2 (turnstile) chunk stream — the op
+/// counterpart of [`ChunkWriter`], with the same bounded-memory contract:
+/// byte-for-byte identical output to [`write_op_chunks`] fed the same
+/// batches.
+#[derive(Debug)]
+pub struct OpChunkWriter<W: Write> {
+    out: BufWriter<W>,
+    chunks_written: usize,
+    ops_written: u64,
+}
+
+impl<W: Write> OpChunkWriter<W> {
+    /// Starts a version-2 chunk stream: writes the magic + version header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn new(writer: W) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(writer);
+        out.write_all(&CHUNK_MAGIC)?;
+        out.write_all(&CHUNK_FORMAT_VERSION_V2.to_le_bytes())?;
+        Ok(OpChunkWriter {
+            out,
+            chunks_written: 0,
+            ops_written: 0,
+        })
+    }
+
+    /// Appends one chunk (one batch of raw-id ops, written verbatim).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_chunk(&mut self, ops: &[EdgeOp]) -> std::io::Result<()> {
+        let payload_len = (ops.len() as u64) * CHUNK_BYTES_PER_OP as u64;
+        self.out.write_all(&payload_len.to_le_bytes())?;
+        for op in ops {
+            self.out.write_all(&[op.tag()])?;
+            self.out.write_all(&op.u.to_le_bytes())?;
+            self.out.write_all(&op.v.to_le_bytes())?;
+        }
+        self.chunks_written += 1;
+        self.ops_written += ops.len() as u64;
+        Ok(())
+    }
+
+    /// Chunks appended so far.
+    pub fn chunks_written(&self) -> usize {
+        self.chunks_written
+    }
+
+    /// Ops appended so far.
+    pub fn ops_written(&self) -> u64 {
+        self.ops_written
+    }
+
+    /// Flushes and returns `(chunks, ops)` written.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the final flush.
+    pub fn finish(mut self) -> std::io::Result<(usize, u64)> {
+        self.out.flush()?;
+        Ok((self.chunks_written, self.ops_written))
+    }
+}
+
+/// Streams a text op list into the version-2 chunk format with bounded
+/// memory — the turnstile counterpart of [`pack_edge_list`]. Line grammar:
+///
+/// * `u v` or `+ u v` — insert edge `{u, v}`;
+/// * `- u v` — delete edge `{u, v}`;
+/// * `#`/`%` comments and blank lines are skipped.
+///
+/// # Errors
+///
+/// [`IoError::Parse`] (with the 1-based line number) on a malformed line,
+/// [`IoError::Io`] on read/write failures.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn pack_op_list<R: BufRead, W: Write>(
+    mut reader: R,
+    writer: W,
+    batch_size: usize,
+) -> Result<PackSummary, IoError> {
+    assert!(batch_size > 0, "batch_size must be at least 1");
+    let mut out = OpChunkWriter::new(writer)?;
+    let mut batch: Vec<EdgeOp> = Vec::with_capacity(batch_size.min(1 << 20));
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace().peekable();
+        let kind = match parts.peek() {
+            Some(&"+") => {
+                parts.next();
+                OpKind::Insert
+            }
+            Some(&"-") => {
+                parts.next();
+                OpKind::Delete
+            }
+            _ => OpKind::Insert,
+        };
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                batch.push(EdgeOp { kind, u, v });
+                if batch.len() == batch_size {
+                    out.write_chunk(&batch)?;
+                    batch.clear();
+                }
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    if !batch.is_empty() {
+        out.write_chunk(&batch)?;
+    }
+    let (chunks, ops) = out.finish()?;
+    Ok(PackSummary { chunks, edges: ops })
+}
+
+/// Reads a whole turnstile chunk stream sequentially: [`read_op_chunk_frames`]
+/// followed by [`decode_op_chunk`] on every frame, in order. Accepts format
+/// versions 1 (decoded as all-insert ops) and 2. (The parallel variant lives
+/// in `wcc_mpc::stream`.)
+///
+/// # Errors
+///
+/// See [`read_op_chunk_frames`] and [`decode_op_chunk`].
+pub fn read_op_chunks<R: Read>(reader: R) -> Result<Vec<Vec<EdgeOp>>, IoError> {
+    let (version, frames) = read_op_chunk_frames(reader)?;
+    frames
+        .iter()
+        .enumerate()
+        .map(|(i, frame)| decode_op_chunk(version, i, frame))
+        .collect()
+}
+
+/// Reads a turnstile chunk stream from a file path.
+///
+/// # Errors
+///
+/// See [`read_op_chunks`].
+pub fn read_op_chunks_file(path: &std::path::Path) -> Result<Vec<Vec<EdgeOp>>, IoError> {
+    read_op_chunks(std::io::BufReader::new(std::fs::File::open(path)?))
 }
 
 /// Writes a graph as an edge list (one `u v` pair per line, with a comment
@@ -881,6 +1237,160 @@ mod tests {
         assert!(read_edge_chunks(std::io::Cursor::new(out))
             .unwrap()
             .is_empty());
+    }
+
+    // --- version-2 (turnstile) chunk format ------------------------------
+
+    #[test]
+    fn op_chunk_round_trip_preserves_batches_exactly() {
+        let chunks: Vec<Vec<EdgeOp>> = vec![
+            vec![EdgeOp::insert(0, 1), EdgeOp::delete(1, 2)],
+            vec![],
+            vec![
+                EdgeOp::insert(u64::MAX, 0),
+                EdgeOp::delete(7, 7),
+                EdgeOp::insert(7, 7),
+            ],
+        ];
+        let mut buf = Vec::new();
+        write_op_chunks(&chunks, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 3 * 8 + 5 * CHUNK_BYTES_PER_OP);
+        let back = read_op_chunks(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, chunks);
+    }
+
+    #[test]
+    fn v1_streams_decode_through_the_op_reader_as_inserts() {
+        let chunks: Vec<Vec<(u64, u64)>> = vec![vec![(1, 2), (3, 4)], vec![], vec![(5, 6)]];
+        let mut buf = Vec::new();
+        write_edge_chunks(&chunks, &mut buf).unwrap();
+        let (version, frames) = read_op_chunk_frames(std::io::Cursor::new(buf.clone())).unwrap();
+        assert_eq!(version, CHUNK_FORMAT_VERSION);
+        let legacy_frames = read_chunk_frames(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(frames, legacy_frames, "framing must be byte-identical");
+        for (i, frame) in frames.iter().enumerate() {
+            let ops = decode_op_chunk(version, i, frame).unwrap();
+            let edges: Vec<(u64, u64)> = ops
+                .iter()
+                .map(|op| {
+                    assert_eq!(op.kind, OpKind::Insert);
+                    (op.u, op.v)
+                })
+                .collect();
+            assert_eq!(edges, chunks[i]);
+        }
+    }
+
+    #[test]
+    fn v1_readers_keep_rejecting_v2_streams() {
+        let mut buf = Vec::new();
+        write_op_chunks(&[vec![EdgeOp::insert(1, 2)]], &mut buf).unwrap();
+        let err = read_edge_chunks(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, IoError::UnsupportedVersion { version: 2 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_op_tags_are_corrupt() {
+        let chunks = vec![vec![EdgeOp::insert(1, 2), EdgeOp::delete(3, 4)]];
+        let mut buf = Vec::new();
+        write_op_chunks(&chunks, &mut buf).unwrap();
+        // Corrupt the second record's tag: header(8) + chunk len(8) + one record.
+        let tag_offset = 8 + 8 + CHUNK_BYTES_PER_OP;
+        buf[tag_offset] = 2;
+        let err = read_op_chunks(std::io::Cursor::new(buf)).unwrap_err();
+        match err {
+            IoError::Corrupt { chunk, reason } => {
+                assert_eq!(chunk, 0);
+                assert!(reason.contains("op tag 2"), "reason: {reason}");
+                assert!(reason.contains("record 1"), "reason: {reason}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn v2_payload_lengths_are_checked_against_the_op_record_size() {
+        let mut buf = CHUNK_MAGIC.to_vec();
+        buf.extend_from_slice(&CHUNK_FORMAT_VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&16u64.to_le_bytes()); // multiple of 16, not 17
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_op_chunks(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, IoError::Corrupt { chunk: 0, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn op_chunk_writer_matches_the_batch_writer_byte_for_byte() {
+        let chunks: Vec<Vec<EdgeOp>> = vec![
+            vec![EdgeOp::insert(0, 1)],
+            vec![],
+            vec![EdgeOp::delete(0, 1), EdgeOp::insert(9, 9)],
+        ];
+        let mut batched = Vec::new();
+        write_op_chunks(&chunks, &mut batched).unwrap();
+        let mut streamed = Vec::new();
+        let mut writer = OpChunkWriter::new(&mut streamed).unwrap();
+        for chunk in &chunks {
+            writer.write_chunk(chunk).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), (3, 3));
+        assert_eq!(streamed, batched);
+    }
+
+    #[test]
+    fn pack_op_list_grammar_and_batching() {
+        let text = "# ops\n5 6\n+ 6 7\n- 5 6\n% comment\n7 8\n- 6 7\n";
+        let mut buf = Vec::new();
+        let summary = pack_op_list(std::io::Cursor::new(text), &mut buf, 2).unwrap();
+        assert_eq!(
+            summary,
+            PackSummary {
+                chunks: 3,
+                edges: 5
+            }
+        );
+        let back = read_op_chunks(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                vec![EdgeOp::insert(5, 6), EdgeOp::insert(6, 7)],
+                vec![EdgeOp::delete(5, 6), EdgeOp::insert(7, 8)],
+                vec![EdgeOp::delete(6, 7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn pack_op_list_rejects_malformed_lines() {
+        for bad in ["- 1\n", "+ a b\n", "-1 2 extra-is-ok\n"] {
+            let mut out = Vec::new();
+            let res = pack_op_list(std::io::Cursor::new(bad), &mut out, 4);
+            if bad.starts_with("-1") {
+                // "-1" is not the `-` token, and not a u64: parse error too.
+                assert!(matches!(res, Err(IoError::Parse { line: 1, .. })));
+            } else {
+                assert!(
+                    matches!(res, Err(IoError::Parse { line: 1, .. })),
+                    "input {bad:?} gave {res:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wcc_io_ops_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.wccs");
+        let chunks: Vec<Vec<EdgeOp>> = vec![vec![EdgeOp::insert(1, 2)], vec![EdgeOp::delete(1, 2)]];
+        write_op_chunks_file(&chunks, &path).unwrap();
+        assert_eq!(read_op_chunks_file(&path).unwrap(), chunks);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

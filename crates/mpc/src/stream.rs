@@ -14,7 +14,9 @@
 
 use crate::executor::Executor;
 
-use wcc_graph::io::{decode_edge_chunk, read_chunk_frames, IoError};
+use wcc_graph::io::{
+    decode_edge_chunk, decode_op_chunk, read_chunk_frames, read_op_chunk_frames, EdgeOp, IoError,
+};
 
 /// Decodes framed chunk payloads into edge batches in parallel, one work
 /// unit per chunk, via `exec`. Output order matches frame order; on failure
@@ -58,6 +60,58 @@ pub fn read_edge_chunks_file_parallel(
     exec: &Executor,
 ) -> Result<Vec<Vec<(u64, u64)>>, IoError> {
     read_edge_chunks_parallel(
+        std::io::BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?),
+        exec,
+    )
+}
+
+/// Decodes framed turnstile chunk payloads into op batches in parallel — the
+/// op-aware counterpart of [`decode_edge_chunks`], with the same determinism
+/// contract: output order matches frame order and the lowest-indexed
+/// malformed chunk wins error selection regardless of the thread count.
+/// `version` is the stream's format version as returned by
+/// [`wcc_graph::io::read_op_chunk_frames`]; version-1 payloads decode to
+/// all-insert ops.
+///
+/// # Errors
+///
+/// Returns the first (by chunk index) [`IoError`] produced by
+/// [`decode_op_chunk`].
+pub fn decode_op_chunks(
+    version: u32,
+    frames: &[Vec<u8>],
+    exec: &Executor,
+) -> Result<Vec<Vec<EdgeOp>>, IoError> {
+    exec.map_items(frames, |i, frame| decode_op_chunk(version, i, frame))
+        .into_iter()
+        .collect()
+}
+
+/// Reads a whole turnstile chunk stream (format version 1 or 2) with
+/// parallel per-chunk decode: sequential framing, then [`decode_op_chunks`]
+/// through `exec`.
+///
+/// # Errors
+///
+/// See [`wcc_graph::io::read_op_chunk_frames`] and [`decode_op_chunks`].
+pub fn read_op_chunks_parallel<R: std::io::Read>(
+    reader: R,
+    exec: &Executor,
+) -> Result<Vec<Vec<EdgeOp>>, IoError> {
+    let (version, frames) = read_op_chunk_frames(reader)?;
+    decode_op_chunks(version, &frames, exec)
+}
+
+/// File-path convenience wrapper around [`read_op_chunks_parallel`].
+///
+/// # Errors
+///
+/// See [`read_op_chunks_parallel`].
+pub fn read_op_chunks_file_parallel(
+    path: &std::path::Path,
+    exec: &Executor,
+) -> Result<Vec<Vec<EdgeOp>>, IoError> {
+    read_op_chunks_parallel(
         std::io::BufReader::new(std::fs::File::open(path).map_err(IoError::Io)?),
         exec,
     )
@@ -118,5 +172,65 @@ mod tests {
     fn empty_frame_list_decodes_to_nothing() {
         let exec = Executor::threaded(4);
         assert!(decode_edge_chunks(&[], &exec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_op_decode_matches_sequential_for_both_versions() {
+        use wcc_graph::io::write_op_chunks;
+        // v2 stream with mixed ops.
+        let ops: Vec<Vec<EdgeOp>> = (0..12u64)
+            .map(|c| {
+                (0..(c % 4) * 10)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            EdgeOp::delete(c, i)
+                        } else {
+                            EdgeOp::insert(c * 100 + i, i)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut v2 = Vec::new();
+        write_op_chunks(&ops, &mut v2).unwrap();
+        // v1 stream decoded through the op reader.
+        let chunks = sample_chunks();
+        let mut v1 = Vec::new();
+        write_edge_chunks(&chunks, &mut v1).unwrap();
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::threaded(threads);
+            let got = read_op_chunks_parallel(std::io::Cursor::new(&v2), &exec).unwrap();
+            assert_eq!(got, ops, "threads={threads}");
+            let got = read_op_chunks_parallel(std::io::Cursor::new(&v1), &exec).unwrap();
+            let expect: Vec<Vec<EdgeOp>> = chunks
+                .iter()
+                .map(|c| c.iter().map(|&(u, v)| EdgeOp::insert(u, v)).collect())
+                .collect();
+            assert_eq!(got, expect, "threads={threads} (v1 stream)");
+        }
+    }
+
+    #[test]
+    fn op_decode_error_selection_is_deterministic_across_thread_counts() {
+        use wcc_graph::io::{write_op_chunks, CHUNK_BYTES_PER_OP, CHUNK_FORMAT_VERSION_V2};
+        // Build valid v2 frames, then corrupt the op tags of frames 4 and 9.
+        let ops: Vec<Vec<EdgeOp>> = (0..12u64)
+            .map(|c| (0..5).map(|i| EdgeOp::insert(c, i)).collect())
+            .collect();
+        let mut buf = Vec::new();
+        write_op_chunks(&ops, &mut buf).unwrap();
+        let (version, mut frames) =
+            wcc_graph::io::read_op_chunk_frames(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(version, CHUNK_FORMAT_VERSION_V2);
+        frames[4][2 * CHUNK_BYTES_PER_OP] = 0xFF;
+        frames[9][0] = 0xFF;
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::threaded(threads);
+            let err = decode_op_chunks(version, &frames, &exec).unwrap_err();
+            assert!(
+                matches!(err, IoError::Corrupt { chunk: 4, .. }),
+                "threads={threads}: got {err}"
+            );
+        }
     }
 }

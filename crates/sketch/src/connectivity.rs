@@ -30,7 +30,7 @@ pub struct VertexSketch {
 }
 
 impl VertexSketch {
-    fn new(num_phases: usize, base_seed: u64) -> Self {
+    pub(crate) fn new(num_phases: usize, base_seed: u64) -> Self {
         VertexSketch {
             samplers: (0..num_phases)
                 .map(|p| L0Sampler::new(base_seed.wrapping_add(0x9E37_79B9 * (p as u64 + 1))))
@@ -38,10 +38,16 @@ impl VertexSketch {
         }
     }
 
-    fn update(&mut self, index: u64, delta: i64) {
+    pub(crate) fn update(&mut self, index: u64, delta: i64) {
         for s in &mut self.samplers {
             s.update(index, delta);
         }
+    }
+
+    /// The phase-`phase` ℓ0-sampler of this vertex (one independent sampler
+    /// per Borůvka phase).
+    pub(crate) fn phase_sampler(&self, phase: usize) -> &L0Sampler {
+        &self.samplers[phase]
     }
 
     /// Adds another vertex's message to this one (sketches are linear, so the

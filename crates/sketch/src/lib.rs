@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 
 pub mod connectivity;
+pub mod dynamic;
 pub mod l0;
 pub mod one_sparse;
 
 pub use crate::connectivity::ConnectivitySketch;
+pub use crate::dynamic::{DynamicConnectivitySketch, SubsetPartition};
 pub use crate::l0::L0Sampler;
 pub use crate::one_sparse::{OneSparseRecovery, RecoveryOutcome};

@@ -290,6 +290,77 @@ fn streaming_ingestion_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Dynamic (insert+delete) ingestion must be bit-identical across thread
+/// counts too: the sketch-repair machinery — lazy sketch build, per-component
+/// sketch-Borůvka certification, union-find rebuild after a split — runs on
+/// top of the same executor seam, so the labels, cumulative `RoundStats` and
+/// the per-batch decision tuple (now including op counts, splits and
+/// recertifications) must not depend on the worker count.
+#[test]
+fn dynamic_ingestion_is_bit_identical_across_thread_counts() {
+    use rand::seq::SliceRandom;
+    use wcc_core::stream::{IncrementalComponents, StreamParams};
+    use wcc_graph::io::EdgeOp;
+
+    for (fi, (family, lambda)) in families().into_iter().enumerate() {
+        let g = instance(&family, 300 + fi as u64);
+        for seed in SEEDS {
+            // Shuffled insert schedule, then a deletion wave over every
+            // fourth edge so the sketch path runs (recertifications on the
+            // expanders, real splits on the ring of cliques).
+            let mut edges: Vec<(u64, u64)> =
+                g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+            edges.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0xD15C0));
+            let mut ops: Vec<EdgeOp> = edges.iter().map(|&(u, v)| EdgeOp::insert(u, v)).collect();
+            ops.extend(edges.iter().step_by(4).map(|&(u, v)| EdgeOp::delete(u, v)));
+            let schedule: Vec<Vec<EdgeOp>> = ops.chunks(101).map(<[EdgeOp]>::to_vec).collect();
+
+            let replay = |threads: usize| {
+                let params = StreamParams::test_scale()
+                    .with_lambda(lambda)
+                    .with_threads(threads);
+                let mut engine = IncrementalComponents::new(params, seed);
+                let reports = engine
+                    .apply_ops_schedule(&schedule)
+                    .expect("replay succeeds");
+                let decisions: Vec<_> = reports
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.path,
+                            r.rounds,
+                            r.communication_words,
+                            r.components_after,
+                            r.insertions,
+                            r.deletions,
+                            r.splits,
+                            r.sketch_recertifies,
+                        )
+                    })
+                    .collect();
+                (engine.labels(), engine.stats(), decisions)
+            };
+
+            let (labels_1, stats_1, decisions_1) = replay(1);
+            for threads in THREADED {
+                let (labels_t, stats_t, decisions_t) = replay(threads);
+                assert_eq!(
+                    labels_1, labels_t,
+                    "labels diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    stats_1, stats_t,
+                    "RoundStats diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+                assert_eq!(
+                    decisions_1, decisions_t,
+                    "per-batch decisions diverged: family {fi}, seed {seed}, threads {threads}"
+                );
+            }
+        }
+    }
+}
+
 /// The fused supersteps (`shuffle_map_owned` / `map_shuffle_owned`) and the
 /// identity-shuffle short circuit must be bit-identical across thread
 /// counts: the fused scatter writes mapped tuples from concurrent workers

@@ -311,6 +311,121 @@ proptest! {
     }
 
     #[test]
+    fn op_chunks_round_trip_for_arbitrary_schedules(
+        ops_raw in proptest::collection::vec((0u64..500, 0u64..500, proptest::bool::ANY), 0..200),
+        batch_ops in 1usize..40,
+    ) {
+        use wcc_graph::io::{read_op_chunks, write_op_chunks, EdgeOp};
+
+        let ops: Vec<EdgeOp> = ops_raw
+            .iter()
+            .map(|&(u, v, del)| if del { EdgeOp::delete(u, v) } else { EdgeOp::insert(u, v) })
+            .collect();
+        let chunks: Vec<&[EdgeOp]> = ops.chunks(batch_ops).collect();
+        let mut binary = Vec::new();
+        write_op_chunks(&chunks, &mut binary).unwrap();
+        let decoded = read_op_chunks(std::io::Cursor::new(binary)).unwrap();
+        let expect: Vec<Vec<EdgeOp>> = chunks.iter().map(|c| c.to_vec()).collect();
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn truncated_or_tag_corrupted_op_streams_error_instead_of_panicking(
+        ops_raw in proptest::collection::vec((0u64..100, 0u64..100, proptest::bool::ANY), 1..80),
+        batch_ops in 1usize..20,
+        cut_permille in 0usize..1000,
+        bad_tag in 2u8..255,
+    ) {
+        use wcc_graph::io::{read_op_chunks, write_op_chunks, EdgeOp, IoError, CHUNK_BYTES_PER_OP};
+
+        let ops: Vec<EdgeOp> = ops_raw
+            .iter()
+            .map(|&(u, v, del)| if del { EdgeOp::delete(u, v) } else { EdgeOp::insert(u, v) })
+            .collect();
+        let chunks: Vec<&[EdgeOp]> = ops.chunks(batch_ops).collect();
+        let mut binary = Vec::new();
+        write_op_chunks(&chunks, &mut binary).unwrap();
+
+        // Truncation at every offset: clean EOF is legal exactly at the
+        // header boundary and after each chunk, truncation everywhere else.
+        let mut boundaries = vec![8usize];
+        let mut offset = 8usize;
+        for c in &chunks {
+            offset += 8 + CHUNK_BYTES_PER_OP * c.len();
+            boundaries.push(offset);
+        }
+        let cut = binary.len() * cut_permille / 1000;
+        let result = read_op_chunks(std::io::Cursor::new(binary[..cut].to_vec()));
+        if boundaries.contains(&cut) {
+            prop_assert!(result.is_ok(), "cut {} is a chunk boundary", cut);
+        } else {
+            prop_assert!(
+                matches!(result, Err(IoError::Truncated { .. })),
+                "cut {} inside the stream must report truncation", cut
+            );
+        }
+
+        // An op tag outside {insert, delete} must surface as Corrupt naming
+        // the right chunk — never panic, never decode garbage.
+        let target = (cut_permille + batch_ops) % chunks.len();
+        let record = cut_permille % chunks[target].len();
+        let mut offset = 8usize;
+        for c in chunks.iter().take(target) {
+            offset += 8 + CHUNK_BYTES_PER_OP * c.len();
+        }
+        let mut corrupted = Vec::new();
+        write_op_chunks(&chunks, &mut corrupted).unwrap();
+        corrupted[offset + 8 + record * CHUNK_BYTES_PER_OP] = bad_tag;
+        prop_assert!(
+            matches!(
+                read_op_chunks(std::io::Cursor::new(corrupted)),
+                Err(IoError::Corrupt { chunk, .. }) if chunk == target
+            ),
+            "corrupting a tag in chunk {} must surface as Corrupt", target
+        );
+    }
+
+    #[test]
+    fn over_deletion_is_always_rejected_and_never_applied(
+        g in arb_graph(40, 100),
+        seed in 0u64..8,
+        pick in 0usize..1_000_000,
+    ) {
+        use wcc_core::stream::{IncrementalComponents, StreamParams};
+        use wcc_graph::io::EdgeOp;
+
+        let edges: Vec<(u64, u64)> = g.edge_iter().map(|(u, v)| (u as u64, v as u64)).collect();
+        if edges.is_empty() {
+            return;
+        }
+        let ops: Vec<EdgeOp> = edges.iter().map(|&(u, v)| EdgeOp::insert(u, v)).collect();
+        let mut engine = IncrementalComponents::new(StreamParams::test_scale(), seed);
+        engine.apply_ops_batch(&ops).unwrap();
+        let batches_before = engine.batches_applied();
+        let edges_before = engine.num_edges();
+
+        // Deleting one more copy than was ever inserted is a hard error —
+        // as a double delete of an existing edge...
+        let (u, v) = edges[pick % edges.len()];
+        let copies = edges
+            .iter()
+            .filter(|&&(a, b)| (a.min(b), a.max(b)) == (u.min(v), u.max(v)))
+            .count();
+        let over: Vec<EdgeOp> = (0..=copies).map(|_| EdgeOp::delete(u, v)).collect();
+        prop_assert!(engine.apply_ops_batch(&over).is_err());
+        // ...and as a delete of a never-inserted edge (fresh vertex pair).
+        let fresh = 1_000_000u64 + (pick as u64 % 1000);
+        prop_assert!(engine.apply_ops_batch(&[EdgeOp::delete(fresh, fresh + 1)]).is_err());
+
+        // Rejected batches left the engine untouched.
+        prop_assert_eq!(engine.batches_applied(), batches_before);
+        prop_assert_eq!(engine.num_edges(), edges_before);
+        // Exactly `copies` deletions of the same pair are fine.
+        prop_assert!(engine.apply_ops_batch(&over[..copies]).is_ok());
+        prop_assert_eq!(engine.num_edges(), edges_before - copies);
+    }
+
+    #[test]
     fn partition_coarsening_is_monotone(labels in proptest::collection::vec(0usize..6, 2..60)) {
         let p = Partition::from_raw_labels(&labels);
         // Coarsening by mapping every part to a single group yields one part.
